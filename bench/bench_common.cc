@@ -1,0 +1,67 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <memory>
+
+namespace antsim {
+namespace bench {
+
+namespace {
+
+std::unique_ptr<Cli> g_cli;
+
+} // namespace
+
+BenchOptions
+parseOptions(int argc, const char *const *argv,
+             const std::vector<std::string> &extra_flags, Cli **cli_out)
+{
+    std::vector<std::string> known = {"samples", "seed", "pes", "csv",
+                                      "chunk"};
+    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+    g_cli = std::make_unique<Cli>(argc, argv, known);
+
+    BenchOptions options;
+    options.run.sampleCap =
+        static_cast<std::uint32_t>(g_cli->getInt("samples", 16));
+    options.run.seed = static_cast<std::uint64_t>(g_cli->getInt("seed", 42));
+    options.run.numPes =
+        static_cast<std::uint32_t>(g_cli->getInt("pes", 64));
+    options.run.chunkCapacity =
+        static_cast<std::uint32_t>(g_cli->getInt("chunk", 4096));
+    options.csv = g_cli->getBool("csv");
+    if (cli_out != nullptr)
+        *cli_out = g_cli.get();
+    return options;
+}
+
+void
+printHeader(const std::string &experiment, const std::string &paper_claim)
+{
+    std::printf("=== %s ===\n", experiment.c_str());
+    std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+void
+emitTable(const Table &table, const BenchOptions &options)
+{
+    table.print();
+    if (options.csv) {
+        std::printf("\n[csv]\n%s", table.toCsv().c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+NetworkStats
+runNetwork(PeModel &pe, const NamedNetwork &network, double target_sparsity,
+           const RunConfig &config)
+{
+    const SparsityProfile profile = network.syntheticTopK
+        ? SparsityProfile::topK(target_sparsity)
+        : SparsityProfile::swat(target_sparsity);
+    return runConvNetwork(pe, network.layers, profile, config);
+}
+
+} // namespace bench
+} // namespace antsim

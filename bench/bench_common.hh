@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared harness for the per-table/per-figure benchmark binaries.
+ *
+ * Every bench binary reproduces one table or figure from the paper's
+ * evaluation (see DESIGN.md experiment index): it prints the paper's
+ * expectation, runs the simulation, and prints the measured rows in
+ * the same form. Common flags:
+ *   --samples N   plane pairs sampled per (layer, phase)  [default 16]
+ *   --seed S      trace-generation seed                   [default 42]
+ *   --pes N       number of PEs                           [default 64]
+ *   --csv         additionally dump rows as CSV
+ */
+
+#ifndef ANTSIM_BENCH_BENCH_COMMON_HH
+#define ANTSIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace bench {
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    RunConfig run;
+    bool csv = false;
+};
+
+/**
+ * Parse argv with the standard flags plus @p extra_flags.
+ * Exits with a usage error on unknown flags.
+ */
+BenchOptions parseOptions(int argc, const char *const *argv,
+                          const std::vector<std::string> &extra_flags = {},
+                          Cli **cli_out = nullptr);
+
+/** Print the bench header: experiment id and the paper's claim. */
+void printHeader(const std::string &experiment,
+                 const std::string &paper_claim);
+
+/** Print a table, optionally followed by its CSV form. */
+void emitTable(const Table &table, const BenchOptions &options);
+
+/** Memoized network stats: run a PE model over a named network. */
+NetworkStats runNetwork(PeModel &pe, const NamedNetwork &network,
+                        double target_sparsity, const RunConfig &config);
+
+} // namespace bench
+} // namespace antsim
+
+#endif // ANTSIM_BENCH_BENCH_COMMON_HH

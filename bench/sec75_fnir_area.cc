@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Sec. 7.5-7.6: FNIR synthesis area and scaling trends.
+ *
+ * Expected (paper): 0.0017 mm^2 for the default n=4, k=16 block at the
+ * 15 nm node (with 50% wire overhead) -- 0.02% of an SCNN PE, or
+ * 21.25% of the 4x4 multiplier array; the serial Arbiter Select depth
+ * grows with n, favouring more PEs over bigger PEs.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "ant/area_model.hh"
+#include "bench_common.hh"
+
+using namespace antsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Sec. 7.5/7.6: FNIR area model",
+        "0.0017 mm^2 at n=4, k=16; area grows with n and k, critical "
+        "path grows with n");
+
+    Table table({"n", "k", "gate equivalents", "area (mm^2)",
+                 "critical path (gates)", "fraction of nxn mult array"});
+    for (std::uint32_t n : {2u, 4u, 6u, 8u}) {
+        for (std::uint32_t k : {8u, 16u, 32u}) {
+            const auto est = estimateFnirArea(n, k);
+            std::ostringstream area;
+            area.precision(4);
+            area << est.areaMm2;
+            table.addRow({std::to_string(n), std::to_string(k),
+                          std::to_string(est.gateEquivalents), area.str(),
+                          std::to_string(est.criticalPathGates),
+                          Table::percent(est.fractionOfMultiplierArray,
+                                         1)});
+        }
+    }
+    bench::emitTable(table, options);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reproduces Table 3: outer-product efficiency of transformer / RNN
+ * matmul shapes (Sec. 5).
+ *
+ * Expected (paper): 1.39%, 0.20%, 10.00%, 10.00%, 1.56%, 33.33%,
+ * 33.33%, 0.33%, 12.50%, 12.50%, 0.33% -- i.e. efficiency = 1/R.
+ */
+
+#include <sstream>
+
+#include "bench_common.hh"
+#include "conv/rcp_model.hh"
+
+using namespace antsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table 3: outer-product efficiency of matmul training phases",
+        "efficiency = 1/R; update phases (A x G_A) are the worst at "
+        "0.2-0.33%");
+
+    Table table({"Training Phase", "HxW", "RxS",
+                 "Outer-product Efficiency"});
+    for (const auto &row : table3Rows()) {
+        const ProblemSpec &s = row.spec;
+        std::ostringstream i, k;
+        i << s.imageH() << "x" << s.imageW();
+        k << s.kernelH() << "x" << s.kernelW();
+        table.addRow(
+            {row.phase, i.str(), k.str(), Table::percent(row.efficiency)});
+    }
+    bench::emitTable(table, options);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: simulate one sparse convolution on the ANT PE and the
+ * SCNN-like baseline, verify both against the dense reference, and
+ * print the cycle/energy comparison.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "ant/ant_pe.hh"
+#include "conv/dense_conv.hh"
+#include "scnn/scnn_pe.hh"
+#include "sim/energy.hh"
+#include "tensor/sparsify.hh"
+#include "util/rng.hh"
+
+using namespace antsim;
+
+int
+main()
+{
+    // An update-phase-shaped convolution (G_A * A): a large 14x14
+    // gradient kernel slides over a 16x16 activation image, producing
+    // the 3x3 weight gradient. This is where RCPs dominate (Table 2).
+    const ProblemSpec spec = ProblemSpec::conv(14, 14, 16, 16);
+    std::printf("problem: %s\n", spec.toString().c_str());
+    std::printf("outer-product efficiency (dense): %.2f%%\n\n",
+                spec.outerProductEfficiency() * 100.0);
+
+    // Synthesize 90%-sparse operands.
+    Rng rng(42);
+    const Dense2d<float> kernel_plane = bernoulliPlane(14, 14, 0.9, rng);
+    const Dense2d<float> image_plane = bernoulliPlane(16, 16, 0.9, rng);
+    const CsrMatrix kernel = CsrMatrix::fromDense(kernel_plane);
+    const CsrMatrix image = CsrMatrix::fromDense(image_plane);
+    std::printf("kernel nnz %u / %u, image nnz %u / %u\n\n", kernel.nnz(),
+                14 * 14, image.nnz(), 16 * 16);
+
+    // Run both PE models.
+    ScnnPe scnn;
+    AntPe ant;
+    const PeResult scnn_result = scnn.runPair(spec, kernel, image, true);
+    const PeResult ant_result = ant.runPair(spec, kernel, image, true);
+
+    // Both must equal the dense reference convolution.
+    const Dense2d<double> reference =
+        referenceExecute(spec, kernel_plane, image_plane);
+    std::printf("max |SCNN - reference| = %.2e\n",
+                maxAbsDiff(scnn_result.output, reference));
+    std::printf("max |ANT  - reference| = %.2e\n\n",
+                maxAbsDiff(ant_result.output, reference));
+
+    // Compare the models.
+    const EnergyModel energy;
+    const auto report = [&](const char *name, const PeResult &r) {
+        const CounterSet &c = r.counters;
+        std::printf("%-10s cycles %6llu  mults %6llu (valid %llu, RCP "
+                    "%llu, avoided %llu)  energy %.1f pJ\n",
+                    name,
+                    static_cast<unsigned long long>(c.get(Counter::Cycles)),
+                    static_cast<unsigned long long>(
+                        c.get(Counter::MultsExecuted)),
+                    static_cast<unsigned long long>(
+                        c.get(Counter::MultsValid)),
+                    static_cast<unsigned long long>(
+                        c.get(Counter::MultsRcp)),
+                    static_cast<unsigned long long>(
+                        c.get(Counter::RcpsAvoided)),
+                    energy.totalPj(c));
+    };
+    report("SCNN-like", scnn_result);
+    report("ANT", ant_result);
+
+    const double speedup =
+        static_cast<double>(scnn_result.counters.get(Counter::Cycles)) /
+        static_cast<double>(ant_result.counters.get(Counter::Cycles));
+    std::printf("\nANT speedup on this pair: %.2fx\n", speedup);
+    return 0;
+}

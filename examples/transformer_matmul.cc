@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ANT's matmul mode (Sec. 5) on the transformer / RNN projection
+ * layers: demonstrates the CSC image traversal, the FNIR bypass, and
+ * the near-total RCP elimination on fully-connected training matmuls.
+ *
+ * Flags: --sparsity S (default 0.9), --seed S, --rnn (use the IMDB RNN
+ *        layer set instead of the transformer)
+ */
+
+#include <cstdio>
+
+#include "ant/ant_pe.hh"
+#include "conv/dense_conv.hh"
+#include "scnn/scnn_pe.hh"
+#include "sim/energy.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "workload/runner.hh"
+
+using namespace antsim;
+
+int
+main(int argc, char **argv)
+{
+    const Cli cli(argc, argv, {"sparsity", "seed", "rnn"});
+    const double sparsity = cli.getDouble("sparsity", 0.9);
+    const auto layers =
+        cli.getBool("rnn") ? rnnLayers() : transformerLayers();
+
+    std::printf("ANT matmul mode on the %s layers at %.0f%% sparsity\n\n",
+                cli.getBool("rnn") ? "IMDB RNN" : "transformer",
+                sparsity * 100.0);
+
+    AntPe ant;
+    ScnnPe scnn;
+    const EnergyModel energy;
+
+    Table table({"Layer", "HxW * RxS", "dense efficiency",
+                 "ANT RCPs avoided", "Speedup vs SCNN+"});
+    Rng seed_rng(static_cast<std::uint64_t>(cli.getInt("seed", 42)));
+    for (const auto &layer : layers) {
+        Rng rng = seed_rng.split();
+        const PlanePair pair = makeMatmulPair(
+            layer, sparsity, SparsifyMethod::TopK, rng);
+
+        // Functional check on the first (smallest) chunk-free layers.
+        PeResult ant_result =
+            ant.runPair(pair.spec, pair.kernel, pair.image,
+                        /*collect_output=*/pair.spec.outH() *
+                                pair.spec.outW() <
+                            100000);
+        if (ant_result.output.size() > 0) {
+            const auto ref = referenceExecute(
+                pair.spec, pair.kernel.toDense(), pair.image.toDense());
+            ANT_ASSERT(maxAbsDiff(ant_result.output, ref) < 1e-6,
+                       "functional mismatch on ", layer.name);
+        }
+        const PeResult scnn_result =
+            scnn.runPair(pair.spec, pair.kernel, pair.image, false);
+
+        const auto avoided =
+            ant_result.counters.get(Counter::RcpsAvoided);
+        const auto suffered = ant_result.counters.get(Counter::MultsRcp);
+        char dims[64];
+        std::snprintf(dims, sizeof(dims), "%ux%u * %ux%u", layer.imageH,
+                      layer.imageW, layer.kernelR, layer.kernelS);
+        table.addRow(
+            {layer.name, dims,
+             Table::percent(pair.spec.outerProductEfficiency()),
+             Table::percent(static_cast<double>(avoided) /
+                                static_cast<double>(avoided + suffered),
+                            2),
+             Table::times(
+                 static_cast<double>(
+                     scnn_result.counters.get(Counter::Cycles)) /
+                 static_cast<double>(
+                     ant_result.counters.get(Counter::Cycles)))});
+    }
+    table.print();
+
+    std::printf("\nnote: SCNN-like outer products waste ~ (1 - 1/R) of "
+                "their multiplies on matmuls; ANT's CSC grouping plus the "
+                "r = x row window (Eq. 15) removes nearly all of it.\n");
+    return 0;
+}

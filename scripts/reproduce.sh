@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure of the reproduction.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "done. paper-vs-measured record: EXPERIMENTS.md"

@@ -1,0 +1,617 @@
+#include "ant_pe.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "sim/accumulator.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** A candidate kernel element with pre-resolved coordinates. */
+struct Candidate
+{
+    float value;
+    std::uint32_t s;
+    std::uint32_t r;
+};
+
+/**
+ * Row-pointer accesses the Kernel Indices Buffer controller needs to
+ * delimit the row windows of a whole kernel stack: rows+1 boundary
+ * pointers per kernel, packed contiguously four 16-bit pointers per
+ * 64-bit access.
+ */
+std::uint64_t
+rowPtrAccesses(std::uint64_t kernels, std::uint64_t rows)
+{
+    return (kernels * (rows + 1) + 3) / 4;
+}
+
+/**
+ * Append the kernel rows inside [row_lo, row_hi] to the candidate
+ * stream the Kernel Indices Buffer would deliver (row-pointer access
+ * accounting is the caller's job via rowPtrAccesses).
+ */
+void
+appendWindowedCandidates(const CsrMatrix &kernel, std::int64_t row_lo,
+                         std::int64_t row_hi,
+                         std::vector<Candidate> &candidates)
+{
+    if (row_lo > row_hi)
+        return;
+    const auto lo = static_cast<std::uint32_t>(row_lo);
+    const auto hi = static_cast<std::uint32_t>(row_hi);
+
+    const auto &row_ptr = kernel.rowPtr();
+    const auto &columns = kernel.columns();
+    const auto &values = kernel.values();
+    for (std::uint32_t r = lo; r <= hi; ++r) {
+        for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            candidates.push_back({values[i], columns[i], r});
+    }
+}
+
+/** Total non-zeros across a kernel stack. */
+std::uint64_t
+stackNnz(const std::vector<const CsrMatrix *> &kernels)
+{
+    std::uint64_t total = 0;
+    for (const CsrMatrix *k : kernels)
+        total += k->nnz();
+    return total;
+}
+
+} // namespace
+
+AntPe::AntPe(const AntPeConfig &config)
+    : config_(config), fnir_(config.n, config.k)
+{
+    ANT_ASSERT(config_.n > 0, "multiplier array dimension must be positive");
+    ANT_ASSERT(config_.k >= config_.n,
+               "FNIR window k (", config_.k,
+               ") should be at least the multiplier width n (", config_.n,
+               ")");
+}
+
+PeResult
+AntPe::runPair(const ProblemSpec &spec, const CsrMatrix &kernel,
+               const CsrMatrix &image, bool collect_output)
+{
+    if (spec.kind() == ProblemSpec::Kind::Matmul)
+        return runMatmulPair(spec, kernel, image, collect_output);
+    return runConvStack(spec, {&kernel}, image, collect_output);
+}
+
+PeResult
+AntPe::runStack(const ProblemSpec &spec,
+                const std::vector<const CsrMatrix *> &kernels,
+                const CsrMatrix &image, bool collect_output)
+{
+    ANT_ASSERT(!kernels.empty(), "kernel stack must not be empty");
+    ANT_ASSERT(spec.kind() == ProblemSpec::Kind::Conv,
+               "kernel stacks are a convolution dataflow; use runPair "
+               "for matmuls");
+    if (config_.dataflow == AntDataflow::KernelStationary)
+        return runConvStackKernelStationary(spec, kernels, image,
+                                            collect_output);
+    return runConvStack(spec, kernels, image, collect_output);
+}
+
+PeResult
+AntPe::runConvStack(const ProblemSpec &spec,
+                    const std::vector<const CsrMatrix *> &kernels,
+                    const CsrMatrix &image, bool collect_output)
+{
+    PeResult result;
+    CounterSet &c = result.counters;
+
+    SramConfig index_cfg = config_.buffer;
+    index_cfg.elementBits = 8; // 8-bit indices (Table 4)
+    SramBuffer image_values("image values", config_.buffer,
+                            Counter::SramValueReads);
+    SramBuffer image_indices("image indices", index_cfg,
+                             Counter::SramIndexReads);
+    SramBuffer kernel_values("kernel values", config_.buffer,
+                             Counter::SramValueReads);
+    SramBuffer kernel_indices("kernel indices", index_cfg,
+                              Counter::SramIndexReads);
+    image_values.fill(image.nnz());
+    image_indices.fill(image.nnz());
+
+    std::unique_ptr<Accumulator> accumulator;
+    if (collect_output)
+        accumulator = std::make_unique<Accumulator>(spec);
+
+    const std::uint32_t n = config_.n;
+    const std::uint32_t k = config_.k;
+    const auto image_entries = image.entries();
+    const std::uint64_t all_products =
+        stackNnz(kernels) * static_cast<std::uint64_t>(image.nnz());
+
+    std::uint64_t cycles = config_.startupCycles;
+    c.add(Counter::StartupCycles, config_.startupCycles);
+
+    std::uint64_t executed = 0;
+    std::uint64_t valid = 0;
+    std::uint64_t residual = 0;
+    std::uint64_t index_elements_read = 0;
+    std::uint64_t value_elements_read = 0;
+    std::uint64_t groups = 0;
+    std::vector<Candidate> candidates;
+    std::vector<std::int64_t> window;
+    window.reserve(k);
+
+    for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
+        const std::size_t ie = std::min(ib + n, image_entries.size());
+        const auto igroup = static_cast<std::uint32_t>(ie - ib);
+        ++groups;
+
+        // Stage 1: fetch the image group (held stationary).
+        image_values.read(igroup, c);
+        image_indices.read(igroup, c);
+
+        // Stages 2-3: range computation. y is monotonic in CSR order so
+        // y_min/y_max are the first/last entries (Eq. 12); x needs a
+        // min/max reduction tree over the group (Eq. 11).
+        std::uint32_t x_min = image_entries[ib].x;
+        std::uint32_t x_max = x_min;
+        for (std::size_t i = ib + 1; i < ie; ++i) {
+            x_min = std::min(x_min, image_entries[i].x);
+            x_max = std::max(x_max, image_entries[i].x);
+        }
+        const std::uint32_t y_min = image_entries[ib].y;
+        const std::uint32_t y_max = image_entries[ie - 1].y;
+        // 2(n-1) compares for the x min/max tree, plus the four range
+        // bound additions.
+        c.add(Counter::IndexCompares, 2ull * (igroup - 1) + 4);
+
+        const IndexRange s_range = config_.useSCondition
+            ? spec.sRange(x_min, x_max)
+            : IndexRange{std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()};
+        const IndexRange r_range = config_.useRCondition
+            ? spec.rRange(y_min, y_max)
+            : IndexRange{0, static_cast<std::int64_t>(spec.kernelH()) - 1};
+
+        if (s_range.empty() || r_range.empty()) {
+            // The ranges rule out the whole kernel stack; the group
+            // still occupies the pipeline for one cycle.
+            ++cycles;
+            c.add(Counter::IdleScanCycles);
+            continue;
+        }
+
+        // The Kernel Indices Buffer controller streams only the rows
+        // inside the r window (Sec. 4.3), across the whole kernel
+        // stack back to back, at one row-pointer SRAM access per
+        // cycle; for long stacks of small kernels this walk, not the
+        // FNIR, bounds the group.
+        candidates.clear();
+        for (const CsrMatrix *kernel : kernels) {
+            appendWindowedCandidates(*kernel, r_range.lo, r_range.hi,
+                                     candidates);
+        }
+        // A *proper* row window (fewer rows than the kernel) requires
+        // the pointer walk; a full window degenerates to sequential
+        // streaming where the row structure arrives inline with the
+        // index stream (as in the SCNN baseline), costing nothing
+        // extra. This also covers the r-condition-off ablation.
+        const bool proper_window =
+            r_range.count() < static_cast<std::int64_t>(spec.kernelH());
+        const std::uint64_t controller_cycles = proper_window
+            ? rowPtrAccesses(kernels.size(),
+                             static_cast<std::uint64_t>(
+                                 r_range.hi - r_range.lo + 1))
+            : 0;
+        c.add(Counter::SramRowPtrReads, controller_cycles);
+
+        if (candidates.empty()) {
+            // The windowed rows hold no non-zeros: the group costs the
+            // controller walk, with the FNIR idle throughout.
+            cycles += std::max<std::uint64_t>(controller_cycles, 1);
+            c.add(Counter::IdleScanCycles,
+                  std::max<std::uint64_t>(controller_cycles, 1));
+            continue;
+        }
+
+        std::uint64_t scan_cycles = 0;
+
+        // Stages 4-5: FNIR scan with the n+1-st-index feedback.
+        std::size_t pos = 0;
+        while (pos < candidates.size()) {
+            const std::size_t wend =
+                std::min(pos + k, candidates.size());
+            window.clear();
+            for (std::size_t i = pos; i < wend; ++i)
+                window.push_back(candidates[i].s);
+
+            // The buffer delivers k column indices per cycle.
+            kernel_indices.read(static_cast<std::uint32_t>(window.size()),
+                                c);
+            index_elements_read += window.size();
+
+            const FnirResult fnir =
+                fnir_.evaluate(window, s_range.lo, s_range.hi, c);
+
+            ++scan_cycles;
+            const std::uint32_t selected = fnir.selectedCount();
+            if (selected == 0) {
+                c.add(Counter::IdleScanCycles);
+            } else {
+                c.add(Counter::ActiveCycles);
+                // Stage 5-6: fetch the selected kernel values and issue
+                // the outer product against the stationary image group.
+                kernel_values.read(selected, c);
+                value_elements_read += selected;
+                executed += static_cast<std::uint64_t>(selected) * igroup;
+
+                for (std::uint32_t port = 0; port < selected; ++port) {
+                    const auto &cand =
+                        candidates[pos + fnir.ports[port].position];
+                    if (accumulator) {
+                        for (std::size_t i = ib; i < ie; ++i) {
+                            const auto &img = image_entries[i];
+                            accumulator->offer(img.value, img.x, img.y,
+                                               cand.value, cand.s, cand.r,
+                                               c);
+                        }
+                    } else {
+                        // Lean counting loop: classify each issued
+                        // product without accumulator machinery.
+                        for (std::size_t i = ib; i < ie; ++i) {
+                            const auto &img = image_entries[i];
+                            if (spec.isValid(img.x, img.y, cand.s,
+                                             cand.r)) {
+                                ++valid;
+                            } else {
+                                ++residual;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Feedback: resume at the n+1-st valid index when it
+            // exists, otherwise skip the whole window.
+            if (fnir.feedback().valid)
+                pos += fnir.feedback().position;
+            else
+                pos = wend;
+        }
+
+        // The group takes whichever of the two serial streams is
+        // longer; controller-bound groups idle the FNIR.
+        const std::uint64_t group_cycles =
+            std::max(scan_cycles, controller_cycles);
+        cycles += group_cycles;
+        if (group_cycles > scan_cycles)
+            c.add(Counter::IdleScanCycles, group_cycles - scan_cycles);
+    }
+
+    c.add(Counter::MultsExecuted, executed);
+    if (!accumulator) {
+        // The functional path's accumulator recorded these itself.
+        c.add(Counter::MultsValid, valid);
+        c.add(Counter::MultsRcp, residual);
+        c.add(Counter::OutputIndexCalcs, executed);
+        c.add(Counter::AccumAdds, valid);
+        c.add(Counter::SramWrites, valid);
+    }
+
+    // SRAM traffic avoided relative to streaming the full kernel
+    // stack (values + indices) once per image group, as the SCNN PE
+    // does.
+    const std::uint64_t scnn_elements = 2ull * stackNnz(kernels) * groups;
+    const std::uint64_t ant_elements =
+        index_elements_read + value_elements_read;
+    c.set(Counter::SramReadsAvoided,
+          scnn_elements > ant_elements ? scnn_elements - ant_elements : 0);
+
+    c.set(Counter::RcpsAvoided, all_products - executed);
+    c.set(Counter::Cycles, cycles);
+    if (accumulator)
+        result.output = accumulator->output();
+    return result;
+}
+
+PeResult
+AntPe::runConvStackKernelStationary(
+    const ProblemSpec &spec, const std::vector<const CsrMatrix *> &kernels,
+    const CsrMatrix &image, bool collect_output)
+{
+    // Sec. 4.6: swap the Image and Kernel buffers and replace the s/r
+    // range computations with x/y range computations. n kernel
+    // non-zeros are held stationary; the image plane's rows inside the
+    // y window stream through the FNIR, which screens x indices.
+    PeResult result;
+    CounterSet &c = result.counters;
+
+    SramConfig index_cfg = config_.buffer;
+    index_cfg.elementBits = 8; // 8-bit indices (Table 4)
+    SramBuffer kernel_values("kernel values", config_.buffer,
+                             Counter::SramValueReads);
+    SramBuffer kernel_indices("kernel indices", index_cfg,
+                              Counter::SramIndexReads);
+    SramBuffer image_values("image values", config_.buffer,
+                            Counter::SramValueReads);
+    SramBuffer image_indices("image indices", index_cfg,
+                             Counter::SramIndexReads);
+    image_values.fill(image.nnz());
+    image_indices.fill(image.nnz());
+
+    std::unique_ptr<Accumulator> accumulator;
+    if (collect_output)
+        accumulator = std::make_unique<Accumulator>(spec);
+
+    const std::uint32_t n = config_.n;
+    const std::uint32_t k = config_.k;
+
+    // The merged stationary stream: kernel entries of the whole stack.
+    std::vector<Candidate> kernel_stream;
+    kernel_stream.reserve(stackNnz(kernels));
+    for (const CsrMatrix *kernel : kernels) {
+        for (const SparseEntry &e : kernel->entries())
+            kernel_stream.push_back({e.value, e.x, e.y});
+    }
+    const std::uint64_t all_products =
+        static_cast<std::uint64_t>(kernel_stream.size()) * image.nnz();
+
+    std::uint64_t cycles = config_.startupCycles;
+    c.add(Counter::StartupCycles, config_.startupCycles);
+
+    std::uint64_t executed = 0;
+    std::uint64_t valid = 0;
+    std::uint64_t residual = 0;
+    std::uint64_t elements_read = 0;
+    std::uint64_t groups = 0;
+    std::vector<Candidate> candidates;
+    std::vector<std::int64_t> window;
+    window.reserve(k);
+
+    for (std::size_t kb = 0; kb < kernel_stream.size(); kb += n) {
+        const std::size_t ke = std::min(kb + n, kernel_stream.size());
+        const auto kgroup = static_cast<std::uint32_t>(ke - kb);
+        ++groups;
+
+        kernel_values.read(kgroup, c);
+        kernel_indices.read(kgroup, c);
+
+        // x/y range computation from the stationary kernel group. The
+        // merged stream's r is not monotonic across kernel-plane
+        // boundaries, so both axes need min/max trees.
+        std::uint32_t s_min = kernel_stream[kb].s;
+        std::uint32_t s_max = s_min;
+        std::uint32_t r_min = kernel_stream[kb].r;
+        std::uint32_t r_max = r_min;
+        for (std::size_t i = kb + 1; i < ke; ++i) {
+            s_min = std::min(s_min, kernel_stream[i].s);
+            s_max = std::max(s_max, kernel_stream[i].s);
+            r_min = std::min(r_min, kernel_stream[i].r);
+            r_max = std::max(r_max, kernel_stream[i].r);
+        }
+        c.add(Counter::IndexCompares, 4ull * (kgroup - 1) + 4);
+
+        const IndexRange x_range = config_.useSCondition
+            ? spec.xRange(s_min, s_max)
+            : IndexRange{std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()};
+        const IndexRange y_window = config_.useRCondition
+            ? spec.yRange(r_min, r_max)
+            : IndexRange{0, static_cast<std::int64_t>(spec.imageH()) - 1};
+
+        if (x_range.empty() || y_window.empty()) {
+            ++cycles;
+            c.add(Counter::IdleScanCycles);
+            continue;
+        }
+
+        // The controller walks the image's row pointers over the y
+        // window (one matrix, so the walk is short).
+        candidates.clear();
+        appendWindowedCandidates(image, y_window.lo, y_window.hi,
+                                 candidates);
+        const bool proper_window =
+            y_window.count() < static_cast<std::int64_t>(spec.imageH());
+        const std::uint64_t controller_cycles = proper_window
+            ? rowPtrAccesses(1, static_cast<std::uint64_t>(
+                                    y_window.hi - y_window.lo + 1))
+            : 0;
+        c.add(Counter::SramRowPtrReads, controller_cycles);
+
+        if (candidates.empty()) {
+            cycles += std::max<std::uint64_t>(controller_cycles, 1);
+            c.add(Counter::IdleScanCycles,
+                  std::max<std::uint64_t>(controller_cycles, 1));
+            continue;
+        }
+
+        std::uint64_t scan_cycles = 0;
+        std::size_t pos = 0;
+        while (pos < candidates.size()) {
+            const std::size_t wend = std::min(pos + k, candidates.size());
+            window.clear();
+            for (std::size_t i = pos; i < wend; ++i)
+                window.push_back(candidates[i].s); // image x index
+
+            image_indices.read(static_cast<std::uint32_t>(window.size()),
+                               c);
+            const FnirResult fnir =
+                fnir_.evaluate(window, x_range.lo, x_range.hi, c);
+
+            ++scan_cycles;
+            const std::uint32_t selected = fnir.selectedCount();
+            if (selected == 0) {
+                c.add(Counter::IdleScanCycles);
+            } else {
+                c.add(Counter::ActiveCycles);
+                image_values.read(selected, c);
+                elements_read += selected;
+                executed += static_cast<std::uint64_t>(selected) * kgroup;
+
+                for (std::uint32_t port = 0; port < selected; ++port) {
+                    // Candidate coordinates: s holds the image x, r the
+                    // image y (appendWindowedCandidates reads a generic
+                    // CSR, here the image plane).
+                    const auto &img =
+                        candidates[pos + fnir.ports[port].position];
+                    for (std::size_t i = kb; i < ke; ++i) {
+                        const auto &ker = kernel_stream[i];
+                        if (accumulator) {
+                            accumulator->offer(img.value, img.s, img.r,
+                                               ker.value, ker.s, ker.r, c);
+                        } else if (spec.isValid(img.s, img.r, ker.s,
+                                                ker.r)) {
+                            ++valid;
+                        } else {
+                            ++residual;
+                        }
+                    }
+                }
+            }
+
+            if (fnir.feedback().valid)
+                pos += fnir.feedback().position;
+            else
+                pos = wend;
+        }
+
+        const std::uint64_t group_cycles =
+            std::max(scan_cycles, controller_cycles);
+        cycles += group_cycles;
+        if (group_cycles > scan_cycles)
+            c.add(Counter::IdleScanCycles, group_cycles - scan_cycles);
+    }
+
+    c.add(Counter::MultsExecuted, executed);
+    if (!accumulator) {
+        c.add(Counter::MultsValid, valid);
+        c.add(Counter::MultsRcp, residual);
+        c.add(Counter::OutputIndexCalcs, executed);
+        c.add(Counter::AccumAdds, valid);
+        c.add(Counter::SramWrites, valid);
+    }
+
+    const std::uint64_t scnn_elements = 2ull * image.nnz() * groups;
+    c.set(Counter::SramReadsAvoided,
+          scnn_elements > elements_read ? scnn_elements - elements_read
+                                        : 0);
+    c.set(Counter::RcpsAvoided, all_products - executed);
+    c.set(Counter::Cycles, cycles);
+    if (accumulator)
+        result.output = accumulator->output();
+    return result;
+}
+
+PeResult
+AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
+                     const CsrMatrix &image, bool collect_output)
+{
+    PeResult result;
+    CounterSet &c = result.counters;
+
+    SramConfig index_cfg = config_.buffer;
+    index_cfg.elementBits = 8; // 8-bit indices (Table 4)
+    SramBuffer image_values("image values", config_.buffer,
+                            Counter::SramValueReads);
+    SramBuffer image_indices("image indices", index_cfg,
+                             Counter::SramIndexReads);
+    SramBuffer kernel_values("kernel values", config_.buffer,
+                             Counter::SramValueReads);
+    SramBuffer kernel_indices("kernel indices", index_cfg,
+                              Counter::SramIndexReads);
+    image_values.fill(image.nnz());
+    image_indices.fill(image.nnz());
+
+    Accumulator accumulator(spec);
+
+    const std::uint32_t n = config_.n;
+    // CSC traversal: a group of n consecutive entries shares one (or a
+    // few adjacent) column(s), so the kernel-row window [x_0, x_{n-1}]
+    // is tight (Sec. 5, Eq. 15).
+    const CscMatrix csc = CscMatrix::fromCsr(image);
+    std::vector<SparseEntry> image_entries;
+    image_entries.reserve(csc.nnz());
+    for (std::uint32_t i = 0; i < csc.nnz(); ++i)
+        image_entries.push_back(csc.entry(i));
+
+    const std::uint64_t all_products =
+        static_cast<std::uint64_t>(kernel.nnz()) *
+        static_cast<std::uint64_t>(image.nnz());
+
+    std::uint64_t cycles = config_.startupCycles;
+    c.add(Counter::StartupCycles, config_.startupCycles);
+    std::uint64_t executed = 0;
+    std::uint64_t elements_read = 0;
+    std::uint64_t groups = 0;
+    std::vector<Candidate> candidates;
+
+    for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
+        const std::size_t ie = std::min(ib + n, image_entries.size());
+        const auto igroup = static_cast<std::uint32_t>(ie - ib);
+        ++groups;
+
+        image_values.read(igroup, c);
+        image_indices.read(igroup, c);
+
+        // Row window from the group's column extremes (Eq. 15). The x
+        // sequence is monotonic in CSC order.
+        const IndexRange row_window = spec.matmulRowRange(
+            image_entries[ib].x, image_entries[ie - 1].x);
+        c.add(Counter::IndexCompares, 2);
+
+        candidates.clear();
+        appendWindowedCandidates(kernel, row_window.lo, row_window.hi,
+                                 candidates);
+        if (!row_window.empty()) {
+            c.add(Counter::SramRowPtrReads,
+                  rowPtrAccesses(1, static_cast<std::uint64_t>(
+                                        row_window.hi - row_window.lo +
+                                        1)));
+        }
+        if (candidates.empty()) {
+            ++cycles;
+            c.add(Counter::IdleScanCycles);
+            continue;
+        }
+
+        // FNIR bypassed: the buffer streams n kernel entries per cycle.
+        for (std::size_t kb = 0; kb < candidates.size(); kb += n) {
+            const std::size_t ke = std::min(kb + n, candidates.size());
+            const auto kgroup = static_cast<std::uint32_t>(ke - kb);
+            kernel_indices.read(kgroup, c);
+            kernel_values.read(kgroup, c);
+            elements_read += 2ull * kgroup;
+
+            ++cycles;
+            c.add(Counter::ActiveCycles);
+            c.add(Counter::MultsExecuted,
+                  static_cast<std::uint64_t>(kgroup) * igroup);
+            executed += static_cast<std::uint64_t>(kgroup) * igroup;
+
+            for (std::size_t kk = kb; kk < ke; ++kk) {
+                const auto &cand = candidates[kk];
+                for (std::size_t i = ib; i < ie; ++i) {
+                    const auto &img = image_entries[i];
+                    accumulator.offer(img.value, img.x, img.y, cand.value,
+                                      cand.s, cand.r, c);
+                }
+            }
+        }
+    }
+
+    const std::uint64_t scnn_elements = 2ull * kernel.nnz() * groups;
+    c.set(Counter::SramReadsAvoided,
+          scnn_elements > elements_read ? scnn_elements - elements_read
+                                        : 0);
+    c.set(Counter::RcpsAvoided, all_products - executed);
+    c.set(Counter::Cycles, cycles);
+    if (collect_output)
+        result.output = accumulator.output();
+    return result;
+}
+
+} // namespace antsim

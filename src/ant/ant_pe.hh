@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ANT (ANTicipator) processing-element cycle model (Sec. 4, Fig. 6).
+ *
+ * The ANT PE extends the SCNN pipeline with RCP anticipation:
+ *
+ *  (1) n image non-zeros are fetched and held stationary;
+ *  (2) the s-range block computes [s_min, s_max] from the group's
+ *      min/max x indices (Eq. 11);
+ *  (3) the r-range block computes [r_min, r_max] from the group's
+ *      first/last y indices (CSR order makes y monotonic, Eq. 12);
+ *      the Kernel Indices Buffer controller uses the r range to fetch
+ *      only row pointers r_min..r_max -- kernel rows outside the range
+ *      are never read from SRAM (Sec. 4.3);
+ *  (4) each cycle, k sequential column indices from the windowed rows
+ *      feed the FNIR block, which selects up to n indices inside
+ *      [s_min, s_max] plus the n+1-st for feedback;
+ *  (5) if the n+1-st is valid, the next window starts there; otherwise
+ *      the scan advances by k (Sec. 4.2 step 5);
+ *  (6) selected kernel values are fetched and multiplied against the
+ *      n stationary image values; output indices are computed and
+ *      valid products accumulate. Products that survive the group
+ *      min/max screen but fail the exact per-element test are residual
+ *      RCPs -- executed and counted, exactly as in the paper.
+ *
+ * Dataflow: image stationary. Like the SCNN baseline, the PE streams a
+ * *kernel stack* (the kernel planes of all output channels) against
+ * one resident image plane with a single pipeline start-up; for each
+ * image group, the windowed candidate streams of the stacked kernels
+ * are scanned back to back, and FNIR windows may span kernel-plane
+ * boundaries.
+ *
+ * Matmul mode (Sec. 5): the image is traversed in CSC order so a group
+ * shares (mostly) one column x; kernel rows r in [x_0, x_{n-1}] are
+ * streamed directly n per cycle with the FNIR block bypassed, and
+ * validity is r == x per element.
+ *
+ * The Fig. 14 ablations (r-condition only / s-condition only) are
+ * supported: disabling the r condition streams all kernel rows,
+ * disabling the s condition makes the FNIR accept everything.
+ */
+
+#ifndef ANTSIM_ANT_ANT_PE_HH
+#define ANTSIM_ANT_ANT_PE_HH
+
+#include "ant/fnir.hh"
+#include "sim/pe_model.hh"
+#include "sim/sram.hh"
+
+namespace antsim {
+
+/**
+ * PE dataflow (Sec. 4.6). Image-stationary is the paper's primary
+ * description; kernel-stationary swaps the roles of the operand
+ * buffers, holding n kernel non-zeros resident while the image plane
+ * streams through the anticipation logic (x/y range computation
+ * instead of s/r).
+ */
+enum class AntDataflow { ImageStationary, KernelStationary };
+
+/** Static parameters of the ANT PE (Table 4). */
+struct AntPeConfig
+{
+    /** Multiplier array dimension n (default 4 -> 4x4 multipliers). */
+    std::uint32_t n = 4;
+    /** FNIR input window width k (default 16). */
+    std::uint32_t k = 16;
+    /** Pipeline start-up cost per new image load (Sec. 6.1). */
+    std::uint32_t startupCycles = 5;
+    /** Apply the r/y condition (Eq. 9); Fig. 14 ablation switch. */
+    bool useRCondition = true;
+    /** Apply the s/x condition (Eq. 10); Fig. 14 ablation switch. */
+    bool useSCondition = true;
+    /** Operand-stationarity choice (Sec. 4.6). */
+    AntDataflow dataflow = AntDataflow::ImageStationary;
+    /** Value/index buffer geometry (8 KB, 16-bit elements). */
+    SramConfig buffer = SramConfig{};
+};
+
+/** The ANT PE: outer-product datapath with RCP anticipation. */
+class AntPe : public PeModel
+{
+  public:
+    explicit AntPe(const AntPeConfig &config = AntPeConfig{});
+
+    std::string name() const override { return "ANT"; }
+
+    std::uint32_t
+    multiplierCount() const override
+    {
+        return config_.n * config_.n;
+    }
+
+    const AntPeConfig &config() const { return config_; }
+
+    PeResult runPair(const ProblemSpec &spec, const CsrMatrix &kernel,
+                     const CsrMatrix &image, bool collect_output) override;
+
+    PeResult runStack(const ProblemSpec &spec,
+                      const std::vector<const CsrMatrix *> &kernels,
+                      const CsrMatrix &image, bool collect_output) override;
+
+  private:
+    /** Convolution-mode execution (FNIR active, image stationary). */
+    PeResult runConvStack(const ProblemSpec &spec,
+                          const std::vector<const CsrMatrix *> &kernels,
+                          const CsrMatrix &image, bool collect_output);
+
+    /** Kernel-stationary convolution execution (Sec. 4.6). */
+    PeResult runConvStackKernelStationary(
+        const ProblemSpec &spec,
+        const std::vector<const CsrMatrix *> &kernels,
+        const CsrMatrix &image, bool collect_output);
+
+    /** Matmul-mode execution (CSC image traversal, FNIR bypassed). */
+    PeResult runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
+                           const CsrMatrix &image, bool collect_output);
+
+    AntPeConfig config_;
+    Fnir fnir_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_ANT_ANT_PE_HH

@@ -1,0 +1,75 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** Gate-equivalent count of the FNIR datapath for (n, k, index bits). */
+std::uint64_t
+fnirGates(std::uint32_t n, std::uint32_t k, std::uint32_t index_bits)
+{
+    // Comparator bank: two B-bit magnitude comparators per lane.
+    const std::uint64_t comparator_gates =
+        static_cast<std::uint64_t>(k) * 2 * 6 * index_bits;
+
+    // Arbiter Select stages: n+1 of them. Each is a k-wide
+    // fixed-priority arbiter (~4 GE/lane), a one-hot-to-binary encoder
+    // (~log2(k) GE/lane), and a k-wide AND row to clear the grant.
+    const auto log2k = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(k))));
+    const std::uint64_t stage_gates =
+        static_cast<std::uint64_t>(k) * (4 + log2k + 1);
+    const std::uint64_t arbiter_gates =
+        static_cast<std::uint64_t>(n + 1) * stage_gates;
+
+    // Output registers: n+1 ports of (log2 k position + valid) bits,
+    // ~6 GE per flop.
+    const std::uint64_t register_gates =
+        static_cast<std::uint64_t>(n + 1) * (log2k + 1) * 6;
+
+    return comparator_gates + arbiter_gates + register_gates;
+}
+
+} // namespace
+
+AreaModelParams
+AreaModelParams::calibrated()
+{
+    AreaModelParams params;
+    // Calibrate mm2PerGate so the paper's default (n=4, k=16, 8-bit
+    // indices) lands exactly at 0.0017 mm^2.
+    const std::uint64_t default_gates = fnirGates(4, 16, params.indexBits);
+    params.mm2PerGate = 0.0017 / static_cast<double>(default_gates);
+    return params;
+}
+
+FnirAreaEstimate
+estimateFnirArea(std::uint32_t n, std::uint32_t k,
+                 const AreaModelParams &params)
+{
+    ANT_ASSERT(n > 0 && k > 0, "FNIR dimensions must be positive");
+
+    FnirAreaEstimate est;
+    est.gateEquivalents = fnirGates(n, k, params.indexBits);
+    est.areaMm2 =
+        static_cast<double>(est.gateEquivalents) * params.mm2PerGate;
+
+    // Critical path: one comparator (~2 levels per bit-group, ~8
+    // levels for 8-bit) followed by the n+1 *serial* arbiter stages
+    // (Sec. 7.6: depth grows with n).
+    const auto comparator_depth = params.indexBits;
+    const auto arbiter_depth = 3u * (n + 1);
+    est.criticalPathGates = comparator_depth + arbiter_depth;
+
+    const double mult_array_gates =
+        static_cast<double>(params.multiplierGates) * n * n;
+    est.fractionOfMultiplierArray =
+        static_cast<double>(est.gateEquivalents) / mult_array_gates;
+    return est;
+}
+
+} // namespace antsim

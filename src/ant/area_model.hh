@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic area/delay model of the FNIR block (Sec. 7.5-7.6).
+ *
+ * The paper synthesizes the FNIR block in RTL with FreePDK45, scales to
+ * 15 nm and adds 50% wire overhead, reporting 0.0017 mm^2 for the
+ * default n=4, k=16 configuration -- 21.25% of the 4x4 multiplier
+ * array's area. We reproduce that scale with a gate-count model:
+ *
+ *  - k comparator lanes, each two B-bit magnitude comparators
+ *    (~6 gate-equivalents per bit per comparator);
+ *  - n+1 serial Arbiter Select stages, each a k-wide fixed-priority
+ *    arbiter (~4 GE per lane) plus a k-to-log2(k) one-hot encoder
+ *    (~ceil(log2 k) GE per lane) and the mask-clear AND row;
+ *  - output registers for the n+1 position/valid ports.
+ *
+ * Gate-equivalent area is calibrated so the default configuration
+ * lands at the paper's 0.0017 mm^2 (including the 50% wire overhead),
+ * making the model's value the *scaling trends*: area grows linearly
+ * in k and n, and the critical path grows with the serial arbiter
+ * depth (n+1 stages), which is the Sec. 7.6 argument for preferring
+ * more PEs over bigger PEs.
+ */
+
+#ifndef ANTSIM_ANT_AREA_MODEL_HH
+#define ANTSIM_ANT_AREA_MODEL_HH
+
+#include <cstdint>
+
+namespace antsim {
+
+/** Area/delay estimate for one FNIR configuration. */
+struct FnirAreaEstimate
+{
+    std::uint64_t gateEquivalents = 0;
+    /** Area in mm^2 at the 15 nm node, incl. 50% wire overhead. */
+    double areaMm2 = 0.0;
+    /** Critical-path depth in gate levels (comparator + arbiters). */
+    std::uint32_t criticalPathGates = 0;
+    /** FNIR area as a fraction of an n x n bf16 multiplier array. */
+    double fractionOfMultiplierArray = 0.0;
+};
+
+/** Parameters of the area model. */
+struct AreaModelParams
+{
+    /** Index bit width (Table 4: 8-bit indices). */
+    std::uint32_t indexBits = 8;
+    /**
+     * mm^2 per gate-equivalent at 15 nm including the 50% wire
+     * overhead; calibrated so (n=4, k=16) = 0.0017 mm^2.
+     */
+    double mm2PerGate = 0.0;
+    /** Gate-equivalents of one bf16 multiplier (for the ratio). */
+    std::uint64_t multiplierGates = 1180;
+
+    /** Default-calibrated parameters. */
+    static AreaModelParams calibrated();
+};
+
+/** Estimate FNIR area/delay for a given (n, k). */
+FnirAreaEstimate estimateFnirArea(std::uint32_t n, std::uint32_t k,
+                                  const AreaModelParams &params =
+                                      AreaModelParams::calibrated());
+
+} // namespace antsim
+
+#endif // ANTSIM_ANT_AREA_MODEL_HH

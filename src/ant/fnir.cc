@@ -1,0 +1,60 @@
+#include "fnir.hh"
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+Fnir::Fnir(std::uint32_t n, std::uint32_t k) : n_(n), k_(k)
+{
+    ANT_ASSERT(n_ > 0, "FNIR needs at least one multiplier port");
+    ANT_ASSERT(k_ > 0 && k_ <= 64,
+               "FNIR window width must be in [1, 64], got ", k_);
+}
+
+std::uint64_t
+Fnir::arbiterSelect(std::uint64_t request, std::uint32_t &position,
+                    bool &valid)
+{
+    if (request == 0) {
+        position = 0;
+        valid = false;
+        return request;
+    }
+    // Fixed-priority arbiter: the one-hot grant vector is the lowest
+    // set bit, g = request AND (-request).
+    const std::uint64_t grant = request & (~request + 1);
+    position = static_cast<std::uint32_t>(__builtin_ctzll(grant));
+    valid = true;
+    // Forward the input with the granted bit cleared.
+    return request & ~grant;
+}
+
+FnirResult
+Fnir::evaluate(const std::vector<std::int64_t> &s_indices, std::int64_t min,
+               std::int64_t max, CounterSet &counters) const
+{
+    ANT_ASSERT(s_indices.size() <= k_, "window of ", s_indices.size(),
+               " exceeds FNIR width ", k_);
+
+    // Comparator bank: 2 integer comparisons per lane per evaluation
+    // (>= min and <= max); all k lanes switch every cycle.
+    counters.add(Counter::IndexCompares, 2ull * k_);
+
+    std::uint64_t mask = 0;
+    for (std::size_t lane = 0; lane < s_indices.size(); ++lane) {
+        if (s_indices[lane] >= min && s_indices[lane] <= max)
+            mask |= 1ull << lane;
+    }
+
+    // First n+1 priority encoder: n+1 serial Arbiter Select stages.
+    FnirResult result;
+    result.ports.resize(n_ + 1);
+    std::uint64_t remaining = mask;
+    for (std::uint32_t stage = 0; stage <= n_; ++stage) {
+        remaining = arbiterSelect(remaining, result.ports[stage].position,
+                                  result.ports[stage].valid);
+    }
+    return result;
+}
+
+} // namespace antsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * First n+1 Indices within Range (FNIR) block -- bit-level model.
+ *
+ * The FNIR block (Sec. 4.4, Fig. 8) is combinational logic with two
+ * parts:
+ *
+ *  1. k comparator blocks that, in parallel, test each candidate s
+ *     index against [min, max], producing a k-bit request mask;
+ *  2. a "first n+1" priority encoder built from n+1 serial
+ *     Arbiter Select stages. Each stage is a fixed-priority arbiter:
+ *     it grants the lowest set bit of its input (one-hot g), outputs
+ *     the granted position in binary plus a valid bit, and forwards
+ *     in AND NOT g to the next stage.
+ *
+ * The first n outputs select kernel values for the multiplier array;
+ * the n+1-st output feeds back to the Kernel Indices Buffer controller
+ * to set the next scan offset (Sec. 4.2, step 5).
+ *
+ * This model is bit-accurate: the arbiter-select chain is implemented
+ * exactly as the hardware composition (tests check it against a naive
+ * first-n+1 scan), and the same block drives both the ANT PE cycle
+ * model and the area/delay estimator (Sec. 7.5).
+ */
+
+#ifndef ANTSIM_ANT_FNIR_HH
+#define ANTSIM_ANT_FNIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/counters.hh"
+
+namespace antsim {
+
+/** One FNIR output port: a selected position and its valid bit. */
+struct FnirOutput
+{
+    /** Binary-encoded position into the k-wide input window. */
+    std::uint32_t position = 0;
+    /** Whether this port selected anything. */
+    bool valid = false;
+};
+
+/** Result of one combinational FNIR evaluation. */
+struct FnirResult
+{
+    /** n+1 ports: first n feed the multiplier, last is the feedback. */
+    std::vector<FnirOutput> ports;
+
+    /** Number of valid multiplier-facing ports (first n). */
+    std::uint32_t
+    selectedCount() const
+    {
+        std::uint32_t count = 0;
+        for (std::size_t i = 0; i + 1 < ports.size(); ++i)
+            count += ports[i].valid ? 1 : 0;
+        return count;
+    }
+
+    /** The n+1-st (feedback) port. */
+    const FnirOutput &feedback() const { return ports.back(); }
+};
+
+/** Combinational FNIR block with parameters n and k. */
+class Fnir
+{
+  public:
+    /**
+     * @param n Multiplier-array dimension: n+1 ports are produced.
+     * @param k Input window width (Table 4 default 16).
+     */
+    Fnir(std::uint32_t n, std::uint32_t k);
+
+    std::uint32_t n() const { return n_; }
+    std::uint32_t k() const { return k_; }
+
+    /**
+     * Evaluate one window.
+     *
+     * @param s_indices Up to k candidate s indices; a short vector
+     *        models a window clamped at the end of the buffer (the
+     *        missing comparator lanes are treated as out of range).
+     * @param min Inclusive lower bound (s_min).
+     * @param max Inclusive upper bound (s_max).
+     * @param counters Charged k comparator operations (2 integer
+     *        compares per lane) per evaluation.
+     */
+    FnirResult evaluate(const std::vector<std::int64_t> &s_indices,
+                        std::int64_t min, std::int64_t max,
+                        CounterSet &counters) const;
+
+    /**
+     * The arbiter-select primitive: grant the lowest set bit of
+     * @p request; returns the granted position via @p position /
+     * @p valid and the request vector with that bit cleared.
+     * Exposed for unit tests and the area model.
+     */
+    static std::uint64_t arbiterSelect(std::uint64_t request,
+                                       std::uint32_t &position, bool &valid);
+
+  private:
+    std::uint32_t n_;
+    std::uint32_t k_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_ANT_FNIR_HH

@@ -1,0 +1,66 @@
+#include "dense_conv.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+Dense2d<double>
+referenceExecute(const ProblemSpec &spec, const Dense2d<float> &kernel,
+                 const Dense2d<float> &image)
+{
+    ANT_ASSERT(kernel.height() == spec.kernelH() &&
+               kernel.width() == spec.kernelW(),
+               "kernel plane shape does not match spec");
+    ANT_ASSERT(image.height() == spec.imageH() &&
+               image.width() == spec.imageW(),
+               "image plane shape does not match spec");
+
+    Dense2d<double> out(spec.outH(), spec.outW());
+
+    if (spec.kind() == ProblemSpec::Kind::Matmul) {
+        for (std::uint32_t y = 0; y < spec.imageH(); ++y) {
+            for (std::uint32_t s = 0; s < spec.kernelW(); ++s) {
+                double acc = 0.0;
+                for (std::uint32_t x = 0; x < spec.imageW(); ++x) {
+                    acc += static_cast<double>(image.at(x, y)) *
+                        static_cast<double>(kernel.at(s, x));
+                }
+                out.at(s, y) = acc;
+            }
+        }
+        return out;
+    }
+
+    const std::uint32_t stride = spec.stride();
+    const std::uint32_t dil = spec.dilation();
+    for (std::uint32_t oy = 0; oy < spec.outH(); ++oy) {
+        for (std::uint32_t ox = 0; ox < spec.outW(); ++ox) {
+            double acc = 0.0;
+            for (std::uint32_t r = 0; r < spec.kernelH(); ++r) {
+                const std::uint32_t y = stride * oy + dil * r;
+                for (std::uint32_t s = 0; s < spec.kernelW(); ++s) {
+                    const std::uint32_t x = stride * ox + dil * s;
+                    acc += static_cast<double>(kernel.at(s, r)) *
+                        static_cast<double>(image.at(x, y));
+                }
+            }
+            out.at(ox, oy) = acc;
+        }
+    }
+    return out;
+}
+
+double
+maxAbsDiff(const Dense2d<double> &a, const Dense2d<double> &b)
+{
+    ANT_ASSERT(a.height() == b.height() && a.width() == b.width(),
+               "shape mismatch in maxAbsDiff");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+    return worst;
+}
+
+} // namespace antsim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dense reference implementations of convolution and matmul.
+ *
+ * Every accelerator model in ANTSim is validated against these: the
+ * accumulated output plane of any simulated PE must equal the dense
+ * reference within floating-point tolerance.
+ */
+
+#ifndef ANTSIM_CONV_DENSE_CONV_HH
+#define ANTSIM_CONV_DENSE_CONV_HH
+
+#include "conv/problem_spec.hh"
+#include "tensor/matrix.hh"
+
+namespace antsim {
+
+/**
+ * Reference execution of @p spec on dense planes.
+ *
+ * For convs: out[oy][ox] = sum_{r,s} kernel(s,r) *
+ * image(stride*ox + dilation*s, stride*oy + dilation*r).
+ * For matmuls: out[y][s] = sum_x image(x,y) * kernel(s, r=x).
+ *
+ * Accumulates in double to give a tight reference for tolerance checks.
+ */
+Dense2d<double> referenceExecute(const ProblemSpec &spec,
+                                 const Dense2d<float> &kernel,
+                                 const Dense2d<float> &image);
+
+/**
+ * Maximum absolute elementwise difference between two planes.
+ * Panics if the shapes differ.
+ */
+double maxAbsDiff(const Dense2d<double> &a, const Dense2d<double> &b);
+
+} // namespace antsim
+
+#endif // ANTSIM_CONV_DENSE_CONV_HH

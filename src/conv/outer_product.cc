@@ -1,0 +1,106 @@
+#include "outer_product.hh"
+
+namespace antsim {
+
+ProductCensus &
+ProductCensus::operator+=(const ProductCensus &o)
+{
+    nonzeroProducts += o.nonzeroProducts;
+    validProducts += o.validProducts;
+    rcpProducts += o.rcpProducts;
+    denseProducts += o.denseProducts;
+    return *this;
+}
+
+OuterProductResult
+sparseOuterProduct(const ProblemSpec &spec, const CsrMatrix &kernel,
+                   const CsrMatrix &image)
+{
+    OuterProductResult result{Dense2d<double>(spec.outH(), spec.outW()), {}};
+    auto &census = result.census;
+    census.denseProducts = spec.denseCartesianProducts();
+
+    const auto kernel_entries = kernel.entries();
+    const auto image_entries = image.entries();
+    census.nonzeroProducts = static_cast<std::uint64_t>(kernel.nnz()) *
+        static_cast<std::uint64_t>(image.nnz());
+
+    for (const auto &img : image_entries) {
+        for (const auto &ker : kernel_entries) {
+            const auto out = spec.outputIndex(img.x, img.y, ker.x, ker.y);
+            if (out) {
+                ++census.validProducts;
+                result.output.at(out->x, out->y) +=
+                    static_cast<double>(img.value) *
+                    static_cast<double>(ker.value);
+            } else {
+                ++census.rcpProducts;
+            }
+        }
+    }
+    return result;
+}
+
+ProductCensus
+countProducts(const ProblemSpec &spec, const CsrMatrix &kernel,
+              const CsrMatrix &image)
+{
+    ProductCensus census;
+    census.denseProducts = spec.denseCartesianProducts();
+    census.nonzeroProducts = static_cast<std::uint64_t>(kernel.nnz()) *
+        static_cast<std::uint64_t>(image.nnz());
+
+    if (spec.kind() == ProblemSpec::Kind::Matmul) {
+        // Valid products pair image column x with kernel row r == x:
+        // count = sum_x nnz(image column x) * nnz(kernel row x).
+        std::vector<std::uint64_t> img_col_nnz(spec.imageW(), 0);
+        for (std::uint32_t c : image.columns())
+            ++img_col_nnz[c];
+        const auto &krp = kernel.rowPtr();
+        for (std::uint32_t x = 0; x < spec.imageW(); ++x) {
+            census.validProducts +=
+                img_col_nnz[x] * (krp[x + 1] - krp[x]);
+        }
+        census.rcpProducts = census.nonzeroProducts - census.validProducts;
+        return census;
+    }
+
+    // Convolution: a product (x,y,s,r) is valid iff both axes map to a
+    // valid output independently, so the valid count factorizes into
+    // per-axis histogram convolutions:
+    //   valid = (sum over valid (y,r) pairs) * ... is NOT separable per
+    // entry, but it IS separable as a sum over (dx, dy) displacement
+    // classes. We count pairs by displacement per axis:
+    //   axisPairs[d] = #{(img_idx, ker_idx) : img - dil*ker == d, valid d}
+    // using index histograms, then valid = sum over valid dx of
+    // colPairs[dx] * ... again not separable because entries couple x
+    // and y. Fall back to the direct product loop, but with the kernel
+    // entries bucketed per row so the inner loop only touches rows in
+    // the per-entry ideal r-range.
+    const auto &krp = kernel.rowPtr();
+    const auto &kcols = kernel.columns();
+    const auto image_entries = image.entries();
+    for (const auto &img : image_entries) {
+        const IndexRange rr = spec.rRangeIdeal(img.y);
+        const IndexRange sr = spec.sRangeIdeal(img.x);
+        if (rr.empty() || sr.empty())
+            continue;
+        for (std::int64_t r = rr.lo; r <= rr.hi; ++r) {
+            const std::uint32_t begin = krp[static_cast<std::size_t>(r)];
+            const std::uint32_t end = krp[static_cast<std::size_t>(r) + 1];
+            for (std::uint32_t i = begin; i < end; ++i) {
+                const std::uint32_t s = kcols[i];
+                if (!sr.contains(s))
+                    continue;
+                if (spec.isValid(img.x, img.y, s,
+                                 static_cast<std::uint32_t>(r))) {
+                    ++census.validProducts;
+                }
+            }
+        }
+    }
+    census.rcpProducts = census.nonzeroProducts - census.validProducts;
+    return census;
+}
+
+} // namespace antsim

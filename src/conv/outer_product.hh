@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional sparse outer-product execution with RCP accounting.
+ *
+ * This is the un-anticipated baseline semantics (Fig. 2d): every
+ * non-zero kernel value is multiplied with every non-zero image value;
+ * products that map to a valid output index are accumulated, the rest
+ * are Redundant Cartesian Products. The cycle-level SCNN/ANT models in
+ * src/scnn and src/ant execute the same product sets; this module gives
+ * the reference outputs and the product-census used by Fig. 1.
+ */
+
+#ifndef ANTSIM_CONV_OUTER_PRODUCT_HH
+#define ANTSIM_CONV_OUTER_PRODUCT_HH
+
+#include <cstdint>
+
+#include "conv/problem_spec.hh"
+#include "tensor/csr.hh"
+#include "tensor/matrix.hh"
+
+namespace antsim {
+
+/** Census of the products in one sparse outer-product execution. */
+struct ProductCensus
+{
+    /** All cartesian products of non-zeros: nnz(kernel) * nnz(image). */
+    std::uint64_t nonzeroProducts = 0;
+    /** Non-zero products that map to a valid output (useful work). */
+    std::uint64_t validProducts = 0;
+    /** Non-zero products with no valid output index (RCPs). */
+    std::uint64_t rcpProducts = 0;
+    /** Dense cartesian products (including zero operands). */
+    std::uint64_t denseProducts = 0;
+
+    /** Fraction of non-zero products that are RCPs (0 if none). */
+    double
+    rcpFraction() const
+    {
+        return nonzeroProducts == 0
+            ? 0.0
+            : static_cast<double>(rcpProducts) /
+                static_cast<double>(nonzeroProducts);
+    }
+
+    /** Element-wise accumulate. */
+    ProductCensus &operator+=(const ProductCensus &o);
+};
+
+/** Result of a functional sparse outer-product execution. */
+struct OuterProductResult
+{
+    Dense2d<double> output;
+    ProductCensus census;
+};
+
+/**
+ * Execute @p spec as a full sparse outer product (no anticipation).
+ * Every nnzK x nnzI product is formed; valid products accumulate into
+ * the output plane, RCPs are counted and discarded.
+ */
+OuterProductResult sparseOuterProduct(const ProblemSpec &spec,
+                                      const CsrMatrix &kernel,
+                                      const CsrMatrix &image);
+
+/**
+ * Census only (no value math): used for the Fig. 1 partial-product
+ * breakdown where only counts matter. Much cheaper than
+ * sparseOuterProduct for large planes.
+ */
+ProductCensus countProducts(const ProblemSpec &spec, const CsrMatrix &kernel,
+                            const CsrMatrix &image);
+
+} // namespace antsim
+
+#endif // ANTSIM_CONV_OUTER_PRODUCT_HH

@@ -1,0 +1,245 @@
+#include "problem_spec.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** floor division for possibly-negative numerators. */
+std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** ceiling division for possibly-negative numerators. */
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return -floorDiv(-a, b);
+}
+
+} // namespace
+
+ProblemSpec
+ProblemSpec::conv(std::uint32_t kernel_h, std::uint32_t kernel_w,
+                  std::uint32_t image_h, std::uint32_t image_w,
+                  std::uint32_t stride, std::uint32_t dilation)
+{
+    ANT_ASSERT(kernel_h > 0 && kernel_w > 0 && image_h > 0 && image_w > 0,
+               "conv dimensions must be positive");
+    ANT_ASSERT(stride > 0 && dilation > 0,
+               "stride and dilation must be positive");
+
+    const std::int64_t eff_h =
+        static_cast<std::int64_t>(dilation) * (kernel_h - 1) + 1;
+    const std::int64_t eff_w =
+        static_cast<std::int64_t>(dilation) * (kernel_w - 1) + 1;
+    ANT_ASSERT(eff_h <= image_h && eff_w <= image_w,
+               "effective kernel ", eff_h, "x", eff_w,
+               " exceeds image ", image_h, "x", image_w);
+
+    ProblemSpec spec;
+    spec.kind_ = Kind::Conv;
+    spec.kernelH_ = kernel_h;
+    spec.kernelW_ = kernel_w;
+    spec.imageH_ = image_h;
+    spec.imageW_ = image_w;
+    spec.stride_ = stride;
+    spec.dilation_ = dilation;
+    spec.outH_ = static_cast<std::uint32_t>((image_h - eff_h) / stride + 1);
+    spec.outW_ = static_cast<std::uint32_t>((image_w - eff_w) / stride + 1);
+    return spec;
+}
+
+ProblemSpec
+ProblemSpec::convWithOutDims(std::uint32_t kernel_h, std::uint32_t kernel_w,
+                             std::uint32_t image_h, std::uint32_t image_w,
+                             std::uint32_t out_h, std::uint32_t out_w,
+                             std::uint32_t stride, std::uint32_t dilation)
+{
+    ProblemSpec spec =
+        conv(kernel_h, kernel_w, image_h, image_w, stride, dilation);
+    ANT_ASSERT(out_h > 0 && out_w > 0 && out_h <= spec.outH_ &&
+               out_w <= spec.outW_,
+               "output override ", out_h, "x", out_w,
+               " exceeds natural output ", spec.outH_, "x", spec.outW_);
+    spec.outH_ = out_h;
+    spec.outW_ = out_w;
+    return spec;
+}
+
+ProblemSpec
+ProblemSpec::matmul(std::uint32_t image_h, std::uint32_t image_w,
+                    std::uint32_t kernel_r, std::uint32_t kernel_s)
+{
+    ANT_ASSERT(image_w == kernel_r, "matmul inner dims must agree: image W ",
+               image_w, " vs kernel R ", kernel_r);
+    ProblemSpec spec;
+    spec.kind_ = Kind::Matmul;
+    spec.kernelH_ = kernel_r;
+    spec.kernelW_ = kernel_s;
+    spec.imageH_ = image_h;
+    spec.imageW_ = image_w;
+    spec.stride_ = 1;
+    spec.dilation_ = 1;
+    spec.outH_ = image_h;
+    spec.outW_ = kernel_s;
+    return spec;
+}
+
+std::optional<OutCoord>
+ProblemSpec::outputIndex(std::uint32_t x, std::uint32_t y, std::uint32_t s,
+                         std::uint32_t r) const
+{
+    if (kind_ == Kind::Matmul) {
+        // Eq. 14: valid iff kernel row equals image column.
+        if (r != x)
+            return std::nullopt;
+        // Eq. 13: out = (s, y).
+        return OutCoord{s, y};
+    }
+
+    // Generalized Eqs. 4-5: out = (img - dilation*k) / stride.
+    const std::int64_t dx = static_cast<std::int64_t>(x) -
+        static_cast<std::int64_t>(dilation_) * s;
+    const std::int64_t dy = static_cast<std::int64_t>(y) -
+        static_cast<std::int64_t>(dilation_) * r;
+    if (dx < 0 || dy < 0)
+        return std::nullopt;
+    if (dx % stride_ != 0 || dy % stride_ != 0)
+        return std::nullopt;
+    const std::int64_t ox = dx / stride_;
+    const std::int64_t oy = dy / stride_;
+    if (ox >= outW_ || oy >= outH_)
+        return std::nullopt;
+    return OutCoord{static_cast<std::uint32_t>(ox),
+                    static_cast<std::uint32_t>(oy)};
+}
+
+IndexRange
+ProblemSpec::sRange(std::uint32_t x_min, std::uint32_t x_max) const
+{
+    if (kind_ == Kind::Matmul) {
+        // The s index needs no check in matmul mode (Sec. 5).
+        return {0, static_cast<std::int64_t>(kernelW_) - 1};
+    }
+    // Solve 0 <= (x - dilation*s)/stride <= outW-1 for s:
+    //   s >= (x - stride*(outW-1)) / dilation   (ceil)
+    //   s <= x / dilation                        (floor)
+    // At stride = dilation = 1 this is Eq. 11:
+    //   s_min = x_min - outW + 1, s_max = x_max.
+    const std::int64_t lo = ceilDiv(static_cast<std::int64_t>(x_min) -
+                                        static_cast<std::int64_t>(stride_) *
+                                            (outW_ - 1),
+                                    dilation_);
+    const std::int64_t hi = floorDiv(x_max, dilation_);
+    return {std::max<std::int64_t>(lo, 0),
+            std::min<std::int64_t>(hi,
+                                   static_cast<std::int64_t>(kernelW_) - 1)};
+}
+
+IndexRange
+ProblemSpec::rRange(std::uint32_t y_min, std::uint32_t y_max) const
+{
+    if (kind_ == Kind::Matmul) {
+        return {0, static_cast<std::int64_t>(kernelH_) - 1};
+    }
+    // Eq. 12 generalized, as sRange above.
+    const std::int64_t lo = ceilDiv(static_cast<std::int64_t>(y_min) -
+                                        static_cast<std::int64_t>(stride_) *
+                                            (outH_ - 1),
+                                    dilation_);
+    const std::int64_t hi = floorDiv(y_max, dilation_);
+    return {std::max<std::int64_t>(lo, 0),
+            std::min<std::int64_t>(hi,
+                                   static_cast<std::int64_t>(kernelH_) - 1)};
+}
+
+IndexRange
+ProblemSpec::matmulRowRange(std::uint32_t x_min, std::uint32_t x_max) const
+{
+    ANT_ASSERT(kind_ == Kind::Matmul,
+               "matmulRowRange is only defined for matmul problems");
+    // Eq. 15: r_min = x_0, r_max = x_{n-1}.
+    return {std::max<std::int64_t>(x_min, 0),
+            std::min<std::int64_t>(x_max,
+                                   static_cast<std::int64_t>(kernelH_) - 1)};
+}
+
+IndexRange
+ProblemSpec::xRange(std::uint32_t s_min, std::uint32_t s_max) const
+{
+    ANT_ASSERT(kind_ == Kind::Conv,
+               "xRange is only defined for convolutions");
+    // Solve x = stride*out + dil*s for out in [0, outW-1]:
+    //   x_min' = dil*s_min, x_max' = dil*s_max + stride*(outW-1).
+    const std::int64_t lo = static_cast<std::int64_t>(dilation_) * s_min;
+    const std::int64_t hi = static_cast<std::int64_t>(dilation_) * s_max +
+        static_cast<std::int64_t>(stride_) * (outW_ - 1);
+    return {std::max<std::int64_t>(lo, 0),
+            std::min<std::int64_t>(hi,
+                                   static_cast<std::int64_t>(imageW_) - 1)};
+}
+
+IndexRange
+ProblemSpec::yRange(std::uint32_t r_min, std::uint32_t r_max) const
+{
+    ANT_ASSERT(kind_ == Kind::Conv,
+               "yRange is only defined for convolutions");
+    const std::int64_t lo = static_cast<std::int64_t>(dilation_) * r_min;
+    const std::int64_t hi = static_cast<std::int64_t>(dilation_) * r_max +
+        static_cast<std::int64_t>(stride_) * (outH_ - 1);
+    return {std::max<std::int64_t>(lo, 0),
+            std::min<std::int64_t>(hi,
+                                   static_cast<std::int64_t>(imageH_) - 1)};
+}
+
+double
+ProblemSpec::outerProductEfficiency() const
+{
+    return static_cast<double>(denseValidProducts()) /
+        static_cast<double>(denseCartesianProducts());
+}
+
+std::uint64_t
+ProblemSpec::denseCartesianProducts() const
+{
+    return static_cast<std::uint64_t>(kernelH_) * kernelW_ *
+        static_cast<std::uint64_t>(imageH_) * imageW_;
+}
+
+std::uint64_t
+ProblemSpec::denseValidProducts() const
+{
+    if (kind_ == Kind::Matmul) {
+        // Each of the H*S outputs accumulates W (== R) products.
+        return static_cast<std::uint64_t>(imageH_) * imageW_ * kernelW_;
+    }
+    // Each of the outH*outW outputs accumulates R*S products.
+    return static_cast<std::uint64_t>(kernelH_) * kernelW_ *
+        static_cast<std::uint64_t>(outH_) * outW_;
+}
+
+std::string
+ProblemSpec::toString() const
+{
+    std::ostringstream oss;
+    if (kind_ == Kind::Matmul) {
+        oss << "matmul image " << imageH_ << "x" << imageW_ << " * kernel "
+            << kernelH_ << "x" << kernelW_;
+    } else {
+        oss << "conv kernel " << kernelH_ << "x" << kernelW_ << " image "
+            << imageH_ << "x" << imageW_ << " out " << outH_ << "x" << outW_
+            << " stride " << stride_ << " dil " << dilation_;
+    }
+    return oss.str();
+}
+
+} // namespace antsim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Geometry of an outer-product problem: convolution or matmul.
+ *
+ * A ProblemSpec captures everything the accelerator needs to know about
+ * a (kernel, image) plane pair: shapes, stride, kernel dilation, and --
+ * crucially -- the index algebra of Sec. 3:
+ *
+ *  - which (image element, kernel element) products are valid, i.e. map
+ *    to an in-range output index (the complement are RCPs);
+ *  - the anticipation ranges of Eqs. 9-12 that bound, for a *group* of
+ *    image elements, the kernel rows (r) and columns (s) that can yield
+ *    any valid product.
+ *
+ * We generalize the paper's stride-1 equations to
+ *     out = (x - dilation*s) / stride      (valid iff divisible, in range)
+ * which covers all three training phases exactly: the forward pass
+ * (dilation=1), the update pass G_A * A where the original layer stride
+ * becomes kernel dilation, and -- with a zero-dilated image materialized
+ * by the trace generator -- the backward pass. At stride = dilation = 1
+ * the range algebra reduces symbol-for-symbol to the paper's Eqs. 7-12.
+ *
+ * The matmul mode (Sec. 5) is the second kind: image (H x W) times
+ * kernel (R x S) with W == R; a product is valid iff the image column
+ * equals the kernel row (Eq. 14) and the output index is (out_x, out_y)
+ * = (s, y) (Eq. 13).
+ */
+
+#ifndef ANTSIM_CONV_PROBLEM_SPEC_HH
+#define ANTSIM_CONV_PROBLEM_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace antsim {
+
+/** Inclusive integer interval; empty when lo > hi. */
+struct IndexRange
+{
+    std::int64_t lo;
+    std::int64_t hi;
+
+    /** True when the interval contains no integers. */
+    bool empty() const { return lo > hi; }
+
+    /** True when @p v lies inside the (clamped) interval. */
+    bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+
+    /** Number of integers in the interval (0 if empty). */
+    std::int64_t
+    count() const
+    {
+        return empty() ? 0 : hi - lo + 1;
+    }
+};
+
+/** Output coordinate of a valid product. */
+struct OutCoord
+{
+    std::uint32_t x;
+    std::uint32_t y;
+};
+
+/** Outer-product problem geometry. */
+class ProblemSpec
+{
+  public:
+    /** Problem flavour. */
+    enum class Kind { Conv, Matmul };
+
+    /**
+     * Convolution of an R x S kernel (dilated by @p dilation) over an
+     * H x W image with the given stride. Output dims are derived:
+     * out = floor((in - dilation*(k-1) - 1) / stride) + 1.
+     * Padding is not a parameter: images arrive pre-padded (the paper
+     * notes padding only adds RCPs, Sec. 3).
+     */
+    static ProblemSpec conv(std::uint32_t kernel_h, std::uint32_t kernel_w,
+                            std::uint32_t image_h, std::uint32_t image_w,
+                            std::uint32_t stride = 1,
+                            std::uint32_t dilation = 1);
+
+    /**
+     * Convolution with explicitly overridden (cropped) output dims.
+     * Used by the update phase G_A * A, whose output is the R x S
+     * weight-gradient even when the padded image admits a few more
+     * kernel shifts -- products mapping beyond the override are RCPs,
+     * exactly per the paper's definition. The override must not exceed
+     * the natural output dims.
+     */
+    static ProblemSpec convWithOutDims(std::uint32_t kernel_h,
+                                       std::uint32_t kernel_w,
+                                       std::uint32_t image_h,
+                                       std::uint32_t image_w,
+                                       std::uint32_t out_h,
+                                       std::uint32_t out_w,
+                                       std::uint32_t stride = 1,
+                                       std::uint32_t dilation = 1);
+
+    /**
+     * Matrix multiplication out[H x S] = image[H x W] * kernel[R x S]
+     * with W == R (Sec. 5 convention).
+     */
+    static ProblemSpec matmul(std::uint32_t image_h, std::uint32_t image_w,
+                              std::uint32_t kernel_r, std::uint32_t kernel_s);
+
+    Kind kind() const { return kind_; }
+
+    /** Kernel height R (rows, index r). */
+    std::uint32_t kernelH() const { return kernelH_; }
+
+    /** Kernel width S (columns, index s). */
+    std::uint32_t kernelW() const { return kernelW_; }
+
+    /** Image height H (rows, index y). */
+    std::uint32_t imageH() const { return imageH_; }
+
+    /** Image width W (columns, index x). */
+    std::uint32_t imageW() const { return imageW_; }
+
+    /** Output height. */
+    std::uint32_t outH() const { return outH_; }
+
+    /** Output width. */
+    std::uint32_t outW() const { return outW_; }
+
+    /** Convolution stride (1 for matmul). */
+    std::uint32_t stride() const { return stride_; }
+
+    /** Kernel dilation (1 for matmul). */
+    std::uint32_t dilation() const { return dilation_; }
+
+    /**
+     * Output coordinate of the product image(x,y) * kernel(s,r), or
+     * nullopt when the product is redundant (an RCP): the mapped output
+     * index is negative, fractional (stride non-divisible), or beyond
+     * the output dims.
+     */
+    std::optional<OutCoord> outputIndex(std::uint32_t x, std::uint32_t y,
+                                        std::uint32_t s,
+                                        std::uint32_t r) const;
+
+    /** True when the product is useful (not an RCP). */
+    bool
+    isValid(std::uint32_t x, std::uint32_t y, std::uint32_t s,
+            std::uint32_t r) const
+    {
+        return outputIndex(x, y, s, r).has_value();
+    }
+
+    /**
+     * Kernel-column range [s_min, s_max] that can produce a valid
+     * product with *some* image column in [x_min, x_max]
+     * (generalization of Eqs. 10-11). For matmul this is the full
+     * [0, S-1] range -- the s index needs no check (Sec. 5).
+     */
+    IndexRange sRange(std::uint32_t x_min, std::uint32_t x_max) const;
+
+    /**
+     * Kernel-row range [r_min, r_max] that can produce a valid product
+     * with *some* image row in [y_min, y_max] (Eqs. 9, 12). For
+     * matmul the constraint instead binds kernel rows to image
+     * *columns* (Eq. 15); use matmulRowRange.
+     */
+    IndexRange rRange(std::uint32_t y_min, std::uint32_t y_max) const;
+
+    /**
+     * Matmul-mode kernel-row range from image-column extremes
+     * (Eq. 15): r in [x_min, x_max], clamped to [0, R-1].
+     */
+    IndexRange matmulRowRange(std::uint32_t x_min,
+                              std::uint32_t x_max) const;
+
+    /**
+     * Inverse of sRange, for the kernel-stationary dataflow
+     * (Sec. 4.6): image columns x that can pair with *some* kernel
+     * column in [s_min, s_max]: x in [dil*s_min,
+     * dil*s_max + stride*(outW-1)], clamped to the image.
+     */
+    IndexRange xRange(std::uint32_t s_min, std::uint32_t s_max) const;
+
+    /** Inverse of rRange: image rows pairing with r in [r_min, r_max]. */
+    IndexRange yRange(std::uint32_t r_min, std::uint32_t r_max) const;
+
+    /**
+     * Ideal per-element kernel-column range for one image column x
+     * (Eq. 8 generalized). Ignores stride divisibility, exactly as the
+     * paper's Algorithm 1 conditions do at stride 1.
+     */
+    IndexRange sRangeIdeal(std::uint32_t x) const
+    {
+        return sRange(x, x);
+    }
+
+    /** Ideal per-element kernel-row range for one image row y (Eq. 7). */
+    IndexRange rRangeIdeal(std::uint32_t y) const
+    {
+        return rRange(y, y);
+    }
+
+    /**
+     * Dense outer-product efficiency (Eq. 6 for conv, 1/R for matmul):
+     * the fraction of the dense cartesian products that a convolution /
+     * matmul actually needs.
+     */
+    double outerProductEfficiency() const;
+
+    /** Total dense cartesian products: (R*S) * (H*W). */
+    std::uint64_t denseCartesianProducts() const;
+
+    /**
+     * Number of useful products in the dense problem:
+     * conv: R*S*outH*outW (each output accumulates R*S products;
+     * at stride/dilation 1 with exact image sizing every one of them
+     * touches an in-range image element);
+     * matmul: H*W*S.
+     */
+    std::uint64_t denseValidProducts() const;
+
+    /** Short human-readable description for logs and tables. */
+    std::string toString() const;
+
+    bool operator==(const ProblemSpec &o) const = default;
+
+  private:
+    ProblemSpec() = default;
+
+    Kind kind_ = Kind::Conv;
+    std::uint32_t kernelH_ = 0;
+    std::uint32_t kernelW_ = 0;
+    std::uint32_t imageH_ = 0;
+    std::uint32_t imageW_ = 0;
+    std::uint32_t outH_ = 0;
+    std::uint32_t outW_ = 0;
+    std::uint32_t stride_ = 1;
+    std::uint32_t dilation_ = 1;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_CONV_PROBLEM_SPEC_HH

@@ -1,0 +1,86 @@
+#include "rcp_model.hh"
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+PhaseSpecs
+trainingPhaseSpecs(std::uint32_t kernel_h, std::uint32_t kernel_w,
+                   std::uint32_t image_h, std::uint32_t image_w,
+                   std::uint32_t stride)
+{
+    // Callers pass the *padded* forward image dims; see
+    // workload/layer.hh for padding bookkeeping.
+    const ProblemSpec fwd =
+        ProblemSpec::conv(kernel_h, kernel_w, image_h, image_w, stride, 1);
+
+    // Backward: rotated W over the zero-dilated gradient. The dilated
+    // gradient spans stride*(out-1)+1; full re-padding of (k-1) per
+    // side is clipped so the backward image never exceeds the forward
+    // one (the clipped rows/cols would only add RCPs).
+    const std::uint32_t gh = stride * (fwd.outH() - 1) + 1;
+    const std::uint32_t gw = stride * (fwd.outW() - 1) + 1;
+    const std::uint32_t bh =
+        std::min(gh + 2 * (kernel_h - 1), image_h);
+    const std::uint32_t bw =
+        std::min(gw + 2 * (kernel_w - 1), image_w);
+    const ProblemSpec bwd =
+        ProblemSpec::conv(kernel_h, kernel_w, bh, bw, 1, 1);
+
+    // Update: the gradient acts as kernel (dilated by the forward
+    // stride) over the activation image; output cropped to the weight
+    // shape R x S (Fig. 5, Table 2).
+    const ProblemSpec upd = ProblemSpec::convWithOutDims(
+        fwd.outH(), fwd.outW(), image_h, image_w, kernel_h, kernel_w, 1,
+        stride);
+
+    return {fwd, bwd, upd};
+}
+
+std::vector<EfficiencyRow>
+table2Rows()
+{
+    std::vector<EfficiencyRow> rows;
+    auto add_pair = [&rows](std::uint32_t k, std::uint32_t img,
+                            std::uint32_t stride) {
+        const PhaseSpecs specs = trainingPhaseSpecs(k, k, img, img, stride);
+        rows.push_back({"W*A, W*G_A", specs.forward,
+                        specs.forward.outerProductEfficiency()});
+        rows.push_back({"G_A*A", specs.update,
+                        specs.update.outerProductEfficiency()});
+    };
+    // The four shape pairs of Table 2 (padded image dims).
+    add_pair(3, 114, 1);   // ImageNet 3x3 stride 1: out 112x112
+    add_pair(7, 230, 2);   // ImageNet stem 7x7 stride 2: out 112x112
+    add_pair(1, 56, 1);    // ImageNet 1x1: out 56x56
+    add_pair(3, 16, 1);    // CIFAR 3x3: out 14x14
+    return rows;
+}
+
+std::vector<EfficiencyRow>
+table3Rows()
+{
+    std::vector<EfficiencyRow> rows;
+    auto add = [&rows](const char *phase, std::uint32_t h, std::uint32_t w,
+                       std::uint32_t r, std::uint32_t s) {
+        const ProblemSpec spec = ProblemSpec::matmul(h, w, r, s);
+        rows.push_back({phase, spec, spec.outerProductEfficiency()});
+    };
+    // Transformer (text translation) projection layers.
+    add("A x W, G_A x W", 512, 72, 72, 512);
+    add("A x G_A", 72, 512, 512, 512);
+    // Small classifier head.
+    add("A x W", 64, 10, 10, 10);
+    add("G_A x W", 10, 10, 10, 64);
+    add("A x G_A", 10, 64, 64, 10);
+    // Text-classification RNN (IMDB) layers.
+    add("A x W", 300, 3, 3, 1200);
+    add("G_A x W", 1200, 3, 3, 300);
+    add("A x G_A", 3, 300, 300, 1200);
+    add("A x W", 300, 8, 8, 1200);
+    add("G_A x W", 1200, 8, 8, 300);
+    add("A x G_A", 8, 300, 300, 1200);
+    return rows;
+}
+
+} // namespace antsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic model of dense outer-product RCPs (Sec. 3.1, Sec. 5).
+ *
+ * Reproduces the closed-form outer-product efficiency (Eq. 6 for convs,
+ * 1/R for matmuls) used by Tables 2 and 3, and the training-phase shape
+ * relations of Fig. 5 / Table 2: for a forward conv of an RxS kernel
+ * over an HxW (padded) image, the update phase convolves the
+ * HoutxWout-shaped gradient (as kernel) over the same image, producing
+ * an RxS output.
+ */
+
+#ifndef ANTSIM_CONV_RCP_MODEL_HH
+#define ANTSIM_CONV_RCP_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conv/problem_spec.hh"
+
+namespace antsim {
+
+/** One row of the Table 2 / Table 3 style efficiency listings. */
+struct EfficiencyRow
+{
+    std::string phase;
+    ProblemSpec spec;
+    double efficiency;
+};
+
+/**
+ * Build the three training-phase specs for a conv layer whose forward
+ * pass convolves an RxS kernel (dilation 1) over an HxW padded image
+ * with the given stride (Fig. 5 relations):
+ *  - forward  W * A:    kernel RxS over image HxW, stride;
+ *  - backward W * G_A:  kernel RxS (rotated W) over the zero-dilated,
+ *                       re-padded gradient, stride 1 -- dims chosen so
+ *                       the output is the forward image shape;
+ *  - update   G_A * A:  kernel HoutxWout (the gradient) with dilation =
+ *                       stride over image HxW, stride 1, output RxS.
+ */
+struct PhaseSpecs
+{
+    ProblemSpec forward;
+    ProblemSpec backward;
+    ProblemSpec update;
+};
+
+/** Derive the three phase specs for one conv layer. */
+PhaseSpecs trainingPhaseSpecs(std::uint32_t kernel_h, std::uint32_t kernel_w,
+                              std::uint32_t image_h, std::uint32_t image_w,
+                              std::uint32_t stride);
+
+/**
+ * The Table 2 rows: typical ImageNet/ResNet50 and CIFAR/ResNet18
+ * dimensions with their outer-product efficiencies. Matches the
+ * paper's printed numbers (96.52%, 0.07%, 23.71%, 0.09%, 100.00%,
+ * 0.03%, 76.58%, 3.53%).
+ */
+std::vector<EfficiencyRow> table2Rows();
+
+/**
+ * The Table 3 rows: transformer / RNN matmul dimensions with their
+ * outer-product efficiencies (1.39%, 0.20%, 10.00%, ... 0.33%).
+ */
+std::vector<EfficiencyRow> table3Rows();
+
+} // namespace antsim
+
+#endif // ANTSIM_CONV_RCP_MODEL_HH

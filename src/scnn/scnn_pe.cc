@@ -1,0 +1,193 @@
+#include "scnn_pe.hh"
+
+#include <algorithm>
+
+#include "conv/outer_product.hh"
+#include "sim/accumulator.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/**
+ * SRAM accesses needed to read @p elements in groups of @p n, where
+ * each group is one read call (elementsPerAccess elements per word).
+ */
+std::uint64_t
+groupedAccesses(std::uint64_t elements, std::uint32_t n, std::uint32_t per)
+{
+    const std::uint64_t full = elements / n;
+    const std::uint64_t rem = elements % n;
+    return full * ((n + per - 1) / per) + (rem + per - 1) / per;
+}
+
+/** Total non-zeros across a kernel stack. */
+std::uint64_t
+stackNnz(const std::vector<const CsrMatrix *> &kernels)
+{
+    std::uint64_t total = 0;
+    for (const CsrMatrix *k : kernels)
+        total += k->nnz();
+    return total;
+}
+
+} // namespace
+
+ScnnPe::ScnnPe(const ScnnPeConfig &config) : config_(config)
+{
+    ANT_ASSERT(config_.n > 0, "multiplier array dimension must be positive");
+}
+
+PeResult
+ScnnPe::runPair(const ProblemSpec &spec, const CsrMatrix &kernel,
+                const CsrMatrix &image, bool collect_output)
+{
+    return runStack(spec, {&kernel}, image, collect_output);
+}
+
+PeResult
+ScnnPe::runStack(const ProblemSpec &spec,
+                 const std::vector<const CsrMatrix *> &kernels,
+                 const CsrMatrix &image, bool collect_output)
+{
+    ANT_ASSERT(!kernels.empty(), "kernel stack must not be empty");
+    if (collect_output)
+        return runStackFunctional(spec, kernels, image);
+    return runStackCounting(spec, kernels, image);
+}
+
+PeResult
+ScnnPe::runStackFunctional(const ProblemSpec &spec,
+                           const std::vector<const CsrMatrix *> &kernels,
+                           const CsrMatrix &image)
+{
+    PeResult result;
+    CounterSet &c = result.counters;
+
+    SramConfig index_cfg = config_.buffer;
+    index_cfg.elementBits = 8; // 8-bit indices (Table 4)
+    SramBuffer image_values("image values", config_.buffer,
+                            Counter::SramValueReads);
+    SramBuffer image_indices("image indices", index_cfg,
+                             Counter::SramIndexReads);
+    SramBuffer kernel_values("kernel values", config_.buffer,
+                             Counter::SramValueReads);
+    SramBuffer kernel_indices("kernel indices", index_cfg,
+                              Counter::SramIndexReads);
+    image_values.fill(image.nnz());
+    image_indices.fill(image.nnz());
+
+    Accumulator accumulator(spec);
+
+    const std::uint32_t n = config_.n;
+    const auto image_entries = image.entries();
+    // The merged kernel stream: groups may span plane boundaries.
+    std::vector<SparseEntry> kernel_stream;
+    kernel_stream.reserve(stackNnz(kernels));
+    for (const CsrMatrix *k : kernels) {
+        const auto entries = k->entries();
+        kernel_stream.insert(kernel_stream.end(), entries.begin(),
+                             entries.end());
+    }
+
+    std::uint64_t cycles = config_.startupCycles;
+    c.add(Counter::StartupCycles, config_.startupCycles);
+
+    for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
+        const std::size_t ie = std::min(ib + n, image_entries.size());
+        const auto igroup = static_cast<std::uint32_t>(ie - ib);
+
+        // Image group is fetched once and held stationary.
+        image_values.read(igroup, c);
+        image_indices.read(igroup, c);
+
+        for (std::size_t kb = 0; kb < kernel_stream.size(); kb += n) {
+            const std::size_t ke = std::min(kb + n, kernel_stream.size());
+            const auto kgroup = static_cast<std::uint32_t>(ke - kb);
+
+            // The kernel stream is re-fetched for every image group
+            // (image-stationary dataflow).
+            kernel_values.read(kgroup, c);
+            kernel_indices.read(kgroup, c);
+
+            // One multiplier-array cycle forms the full cartesian
+            // product of the two groups.
+            ++cycles;
+            c.add(Counter::ActiveCycles);
+            c.add(Counter::MultsExecuted,
+                  static_cast<std::uint64_t>(igroup) * kgroup);
+
+            for (std::size_t i = ib; i < ie; ++i) {
+                const auto &img = image_entries[i];
+                for (std::size_t k = kb; k < ke; ++k) {
+                    const auto &ker = kernel_stream[k];
+                    accumulator.offer(img.value, img.x, img.y, ker.value,
+                                      ker.x, ker.y, c);
+                }
+            }
+        }
+    }
+
+    c.set(Counter::Cycles, cycles);
+    result.output = accumulator.output();
+    return result;
+}
+
+PeResult
+ScnnPe::runStackCounting(const ProblemSpec &spec,
+                         const std::vector<const CsrMatrix *> &kernels,
+                         const CsrMatrix &image)
+{
+    // Closed-form counting path, equivalent to the functional loop but
+    // without per-product work (asserted equivalent by tests). The
+    // full cartesian product of the merged streams executes, so all
+    // per-product counters follow from nnz alone; the valid/RCP split
+    // comes from the per-kernel product census.
+    PeResult result;
+    CounterSet &c = result.counters;
+
+    // Enforce the image-buffer capacity (the kernel stream is
+    // double-buffered and not capacity-limited as a whole).
+    SramBuffer image_values("image values", config_.buffer,
+                            Counter::SramValueReads);
+    image_values.fill(image.nnz());
+
+    const std::uint32_t n = config_.n;
+    const std::uint64_t nnz_i = image.nnz();
+    const std::uint64_t nnz_k = stackNnz(kernels);
+    const std::uint64_t igroups = (nnz_i + n - 1) / n;
+    const std::uint64_t kgroups = (nnz_k + n - 1) / n;
+    const std::uint32_t value_per = config_.buffer.elementsPerAccess();
+    // 8-bit indices (Table 4) pack twice as densely as bf16 values.
+    const std::uint32_t index_per = 2 * value_per;
+
+    ProductCensus census;
+    for (const CsrMatrix *k : kernels)
+        census += countProducts(spec, *k, image);
+
+    c.add(Counter::MultsExecuted, census.nonzeroProducts);
+    c.add(Counter::MultsValid, census.validProducts);
+    c.add(Counter::MultsRcp, census.rcpProducts);
+    c.add(Counter::OutputIndexCalcs, census.nonzeroProducts);
+    c.add(Counter::AccumAdds, census.validProducts);
+    c.add(Counter::SramWrites, census.validProducts);
+
+    // Image groups fetched once each; the merged kernel stream is
+    // re-fetched per image group. Values and indices are separate
+    // arrays.
+    c.add(Counter::SramValueReads, groupedAccesses(nnz_i, n, value_per));
+    c.add(Counter::SramIndexReads, groupedAccesses(nnz_i, n, index_per));
+    c.add(Counter::SramValueReads,
+          igroups * groupedAccesses(nnz_k, n, value_per));
+    c.add(Counter::SramIndexReads,
+          igroups * groupedAccesses(nnz_k, n, index_per));
+
+    const std::uint64_t mult_cycles = igroups * kgroups;
+    c.add(Counter::StartupCycles, config_.startupCycles);
+    c.add(Counter::ActiveCycles, mult_cycles);
+    c.set(Counter::Cycles, config_.startupCycles + mult_cycles);
+    return result;
+}
+
+} // namespace antsim

@@ -1,0 +1,32 @@
+#include "accumulator.hh"
+
+namespace antsim {
+
+Accumulator::Accumulator(const ProblemSpec &spec)
+    : spec_(spec), output_(spec.outH(), spec.outW()),
+      bank_("accumulator bank",
+            SramConfig{/*capacityBytes=*/64 * 1024, /*elementBits=*/16,
+                       /*accessBits=*/64},
+            Counter::SramWrites)
+{}
+
+bool
+Accumulator::offer(float image_value, std::uint32_t x, std::uint32_t y,
+                   float kernel_value, std::uint32_t s, std::uint32_t r,
+                   CounterSet &counters)
+{
+    counters.add(Counter::OutputIndexCalcs);
+    const auto out = spec_.outputIndex(x, y, s, r);
+    if (!out) {
+        counters.add(Counter::MultsRcp);
+        return false;
+    }
+    counters.add(Counter::MultsValid);
+    counters.add(Counter::AccumAdds);
+    bank_.write(1, counters);
+    output_.at(out->x, out->y) +=
+        static_cast<double>(image_value) * static_cast<double>(kernel_value);
+    return true;
+}
+
+} // namespace antsim

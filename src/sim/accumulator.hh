@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Output accumulator bank model.
+ *
+ * Valid products are routed by their computed output index to an
+ * accumulator bank and added there. Per the paper's methodology the
+ * accumulator is assumed to absorb the multiplier-array throughput
+ * (Sec. 6.1), so this model is functional (it produces the output
+ * plane) plus counting (adds and bank writes for the energy model).
+ * It is also the final authority on validity: products whose output
+ * index is out of range are dropped and reported, which is how the
+ * residual RCPs that survive group-level anticipation are detected.
+ */
+
+#ifndef ANTSIM_SIM_ACCUMULATOR_HH
+#define ANTSIM_SIM_ACCUMULATOR_HH
+
+#include <cstdint>
+
+#include "conv/problem_spec.hh"
+#include "sim/sram.hh"
+#include "tensor/matrix.hh"
+#include "util/counters.hh"
+
+namespace antsim {
+
+/** Accumulator buffer: routes valid products to output elements. */
+class Accumulator
+{
+  public:
+    /** Construct for one problem's output plane. */
+    explicit Accumulator(const ProblemSpec &spec);
+
+    /**
+     * Offer one executed product to the accumulator.
+     *
+     * Computes the output index (counted as an output-index
+     * calculation), and either accumulates (valid: one bf16 add + one
+     * bank write) or drops the product (residual RCP).
+     *
+     * @return true when the product was valid.
+     */
+    bool offer(float image_value, std::uint32_t x, std::uint32_t y,
+               float kernel_value, std::uint32_t s, std::uint32_t r,
+               CounterSet &counters);
+
+    /** The accumulated output plane. */
+    const Dense2d<double> &output() const { return output_; }
+
+  private:
+    ProblemSpec spec_;
+    Dense2d<double> output_;
+    SramBuffer bank_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_SIM_ACCUMULATOR_HH

@@ -1,0 +1,44 @@
+#include "chunking.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+std::vector<CsrMatrix>
+chunkByCapacity(const CsrMatrix &matrix, std::uint32_t capacity)
+{
+    ANT_ASSERT(capacity > 0, "chunk capacity must be positive");
+
+    std::vector<CsrMatrix> chunks;
+    const auto entries = matrix.entries();
+    if (entries.empty()) {
+        chunks.push_back(CsrMatrix(matrix.height(), matrix.width()));
+        return chunks;
+    }
+
+    for (std::size_t base = 0; base < entries.size(); base += capacity) {
+        const std::size_t end =
+            std::min(base + capacity, entries.size());
+        std::vector<SparseEntry> slice(entries.begin() + base,
+                                       entries.begin() + end);
+        chunks.push_back(CsrMatrix::fromCoo(matrix.height(), matrix.width(),
+                                            std::move(slice)));
+    }
+    return chunks;
+}
+
+std::vector<ChunkPair>
+allChunkPairs(const std::vector<CsrMatrix> &kernels,
+              const std::vector<CsrMatrix> &images)
+{
+    std::vector<ChunkPair> pairs;
+    pairs.reserve(kernels.size() * images.size());
+    for (const auto &k : kernels)
+        for (const auto &i : images)
+            pairs.push_back({&k, &i});
+    return pairs;
+}
+
+} // namespace antsim

@@ -1,0 +1,42 @@
+#include "energy.hh"
+
+#include <sstream>
+
+namespace antsim {
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream oss;
+    oss.precision(3);
+    oss << "energy total " << totalPj() / 1e6 << " uJ (multiply "
+        << multiplyPj / 1e6 << ", accumulate " << accumulatePj / 1e6
+        << ", index " << indexLogicPj / 1e6 << ", sram " << sramPj / 1e6
+        << ")";
+    return oss.str();
+}
+
+EnergyBreakdown
+EnergyModel::evaluate(const CounterSet &counters) const
+{
+    EnergyBreakdown out;
+    const auto n = [&counters](Counter c) {
+        return static_cast<double>(counters.get(c));
+    };
+
+    out.multiplyPj = n(Counter::MultsExecuted) * params_.multBf16Pj;
+    out.accumulatePj = n(Counter::AccumAdds) * params_.addBf16Pj;
+    // Output-index computations are two integer ops (x-s, y-r with the
+    // stride divide folded into the same adder per Sec. 6.3's "index
+    // comparison operations are modeled as 32-bit integer additions").
+    out.indexLogicPj = (n(Counter::IndexCompares) +
+                        2.0 * n(Counter::OutputIndexCalcs)) *
+        params_.addInt32Pj;
+    out.sramPj = (n(Counter::SramValueReads) + n(Counter::SramIndexReads)) *
+            params_.sramRead64Pj +
+        n(Counter::SramRowPtrReads) * params_.sramRowPtrPj +
+        n(Counter::SramWrites) * params_.accumWritePj;
+    return out;
+}
+
+} // namespace antsim

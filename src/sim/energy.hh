@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Operation-counter-based energy model (Sec. 6.3).
+ *
+ * Energy = sum over operation classes of (count x energy-per-op).
+ * Multiplications and additions are Bfloat16; index comparisons are
+ * modeled as 32-bit integer additions; sparse elements are 16-bit
+ * value + 16-bit index so a 64-bit SRAM access delivers two elements.
+ *
+ * The per-op energies below are order-of-magnitude figures for a
+ * ~7 nm-class process, in picojoules. The paper reports *relative*
+ * energy (ANT / SCNN+), which depends only on the counting methodology
+ * and the ratios between these constants, so the reproduction target is
+ * insensitive to their absolute calibration.
+ */
+
+#ifndef ANTSIM_SIM_ENERGY_HH
+#define ANTSIM_SIM_ENERGY_HH
+
+#include <string>
+
+#include "util/counters.hh"
+
+namespace antsim {
+
+/** Per-operation energies in picojoules. */
+struct EnergyParams
+{
+    /** Bfloat16 multiply. */
+    double multBf16Pj = 0.21;
+    /** Bfloat16 add (accumulator). */
+    double addBf16Pj = 0.11;
+    /** 32-bit integer add (index comparison / output index calc). */
+    double addInt32Pj = 0.10;
+    /** 64-bit read from an 8 KB single-cycle SRAM buffer (~7 nm). */
+    double sramRead64Pj = 2.20;
+    /** 64-bit row-pointer read (same SRAM class). */
+    double sramRowPtrPj = 2.20;
+    /** Partial-sum accumulator bank write (small banked regfile). */
+    double accumWritePj = 1.20;
+};
+
+/** Breakdown of the energy attributed to one CounterSet. */
+struct EnergyBreakdown
+{
+    double multiplyPj = 0.0;
+    double accumulatePj = 0.0;
+    double indexLogicPj = 0.0;
+    double sramPj = 0.0;
+
+    /** Total picojoules. */
+    double
+    totalPj() const
+    {
+        return multiplyPj + accumulatePj + indexLogicPj + sramPj;
+    }
+
+    /** Human-readable summary in microjoules. */
+    std::string toString() const;
+};
+
+/** Maps operation counters to energy. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
+        : params_(params)
+    {}
+
+    /** The active per-op energies. */
+    const EnergyParams &params() const { return params_; }
+
+    /** Attribute the counters of @p counters to energy classes. */
+    EnergyBreakdown evaluate(const CounterSet &counters) const;
+
+    /** Convenience: total picojoules of @p counters. */
+    double
+    totalPj(const CounterSet &counters) const
+    {
+        return evaluate(counters).totalPj();
+    }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_SIM_ENERGY_HH

@@ -1,0 +1,261 @@
+#include "csr.hh"
+
+#include <algorithm>
+
+namespace antsim {
+
+CsrMatrix::CsrMatrix(std::uint32_t height, std::uint32_t width)
+    : height_(height), width_(width), rowPtr_(height + 1, 0)
+{}
+
+CsrMatrix
+CsrMatrix::fromDense(const Dense2d<float> &dense)
+{
+    CsrMatrix csr(dense.height(), dense.width());
+    for (std::uint32_t y = 0; y < dense.height(); ++y) {
+        for (std::uint32_t x = 0; x < dense.width(); ++x) {
+            const float v = dense.at(x, y);
+            if (v != 0.0f) {
+                csr.values_.push_back(v);
+                csr.columns_.push_back(x);
+            }
+        }
+        csr.rowPtr_[y + 1] = static_cast<std::uint32_t>(csr.values_.size());
+    }
+    return csr;
+}
+
+CsrMatrix
+CsrMatrix::fromRaw(std::uint32_t height, std::uint32_t width,
+                   std::vector<float> values,
+                   std::vector<std::uint32_t> columns,
+                   std::vector<std::uint32_t> row_ptr)
+{
+    CsrMatrix csr(height, width);
+    csr.values_ = std::move(values);
+    csr.columns_ = std::move(columns);
+    csr.rowPtr_ = std::move(row_ptr);
+    csr.validate();
+    return csr;
+}
+
+CsrMatrix
+CsrMatrix::fromCoo(std::uint32_t height, std::uint32_t width,
+                   std::vector<SparseEntry> entries)
+{
+    for (const auto &e : entries) {
+        ANT_ASSERT(e.x < width && e.y < height, "COO entry (", e.x, ",",
+                   e.y, ") outside ", width, "x", height);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const SparseEntry &a, const SparseEntry &b) {
+                  return a.y != b.y ? a.y < b.y : a.x < b.x;
+              });
+    CsrMatrix csr(height, width);
+    std::size_t i = 0;
+    for (std::uint32_t y = 0; y < height; ++y) {
+        while (i < entries.size() && entries[i].y == y) {
+            float v = entries[i].value;
+            const std::uint32_t x = entries[i].x;
+            ++i;
+            while (i < entries.size() && entries[i].y == y &&
+                   entries[i].x == x) {
+                v += entries[i].value;
+                ++i;
+            }
+            csr.values_.push_back(v);
+            csr.columns_.push_back(x);
+        }
+        csr.rowPtr_[y + 1] = static_cast<std::uint32_t>(csr.values_.size());
+    }
+    return csr;
+}
+
+double
+CsrMatrix::sparsity() const
+{
+    const std::size_t total =
+        static_cast<std::size_t>(height_) * static_cast<std::size_t>(width_);
+    if (total == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+std::uint32_t
+CsrMatrix::rowOfPosition(std::uint32_t pos) const
+{
+    ANT_ASSERT(pos < nnz(), "position ", pos, " beyond nnz ", nnz());
+    // Binary search in rowPtr for the containing row.
+    const auto it =
+        std::upper_bound(rowPtr_.begin(), rowPtr_.end(), pos);
+    return static_cast<std::uint32_t>(it - rowPtr_.begin()) - 1;
+}
+
+SparseEntry
+CsrMatrix::entry(std::uint32_t pos) const
+{
+    return {values_[pos], columns_[pos], rowOfPosition(pos)};
+}
+
+Dense2d<float>
+CsrMatrix::toDense() const
+{
+    Dense2d<float> dense(height_, width_);
+    for (std::uint32_t y = 0; y < height_; ++y)
+        for (std::uint32_t i = rowPtr_[y]; i < rowPtr_[y + 1]; ++i)
+            dense.at(columns_[i], y) = values_[i];
+    return dense;
+}
+
+std::vector<SparseEntry>
+CsrMatrix::entries() const
+{
+    std::vector<SparseEntry> out;
+    out.reserve(nnz());
+    for (std::uint32_t y = 0; y < height_; ++y)
+        for (std::uint32_t i = rowPtr_[y]; i < rowPtr_[y + 1]; ++i)
+            out.push_back({values_[i], columns_[i], y});
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::rotated180() const
+{
+    // Algorithm 3: remap indices only; the Values array contents do not
+    // change (their order does, to restore row-major ordering).
+    CsrMatrix out(height_, width_);
+    out.values_.reserve(nnz());
+    out.columns_.reserve(nnz());
+    // The rotated row H-1-y enumerates source rows in reverse; within a
+    // row, rotated columns W-1-x reverse the column order.
+    for (std::uint32_t y_rot = 0; y_rot < height_; ++y_rot) {
+        const std::uint32_t y = height_ - 1 - y_rot;
+        const std::uint32_t begin = rowPtr_[y];
+        const std::uint32_t end = rowPtr_[y + 1];
+        for (std::uint32_t i = end; i > begin; --i) {
+            out.values_.push_back(values_[i - 1]);
+            out.columns_.push_back(width_ - 1 - columns_[i - 1]);
+        }
+        out.rowPtr_[y_rot + 1] =
+            static_cast<std::uint32_t>(out.values_.size());
+    }
+    return out;
+}
+
+CsrMatrix
+CsrMatrix::transposed() const
+{
+    CsrMatrix out(width_, height_);
+    // Count entries per column.
+    std::vector<std::uint32_t> counts(width_, 0);
+    for (std::uint32_t c : columns_)
+        ++counts[c];
+    for (std::uint32_t c = 0; c < width_; ++c)
+        out.rowPtr_[c + 1] = out.rowPtr_[c] + counts[c];
+    out.values_.resize(nnz());
+    out.columns_.resize(nnz());
+    std::vector<std::uint32_t> cursor(out.rowPtr_.begin(),
+                                      out.rowPtr_.end() - 1);
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        for (std::uint32_t i = rowPtr_[y]; i < rowPtr_[y + 1]; ++i) {
+            const std::uint32_t c = columns_[i];
+            out.values_[cursor[c]] = values_[i];
+            out.columns_[cursor[c]] = y;
+            ++cursor[c];
+        }
+    }
+    return out;
+}
+
+void
+CsrMatrix::validate() const
+{
+    ANT_ASSERT(rowPtr_.size() == static_cast<std::size_t>(height_) + 1,
+               "rowPtr size ", rowPtr_.size(), " != height+1 ", height_ + 1);
+    ANT_ASSERT(rowPtr_.front() == 0, "rowPtr[0] must be 0");
+    ANT_ASSERT(rowPtr_.back() == values_.size(),
+               "rowPtr back ", rowPtr_.back(), " != values size ",
+               values_.size());
+    ANT_ASSERT(values_.size() == columns_.size(),
+               "values/columns size mismatch");
+    // Check the row-pointer structure completely before dereferencing
+    // columns through it.
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        ANT_ASSERT(rowPtr_[y] <= rowPtr_[y + 1],
+                   "rowPtr must be non-decreasing at row ", y);
+        ANT_ASSERT(rowPtr_[y + 1] <= values_.size(),
+                   "rowPtr exceeds storage at row ", y);
+    }
+    for (std::uint32_t y = 0; y < height_; ++y) {
+        for (std::uint32_t i = rowPtr_[y]; i < rowPtr_[y + 1]; ++i) {
+            ANT_ASSERT(columns_[i] < width_, "column ", columns_[i],
+                       " out of width ", width_);
+            if (i > rowPtr_[y]) {
+                ANT_ASSERT(columns_[i - 1] < columns_[i],
+                           "columns must be strictly increasing in row ", y);
+            }
+        }
+    }
+}
+
+bool
+CsrMatrix::operator==(const CsrMatrix &o) const
+{
+    return height_ == o.height_ && width_ == o.width_ &&
+        values_ == o.values_ && columns_ == o.columns_ &&
+        rowPtr_ == o.rowPtr_;
+}
+
+CscMatrix
+CscMatrix::fromDense(const Dense2d<float> &dense)
+{
+    CscMatrix csc(dense.height(), dense.width());
+    for (std::uint32_t x = 0; x < dense.width(); ++x) {
+        for (std::uint32_t y = 0; y < dense.height(); ++y) {
+            const float v = dense.at(x, y);
+            if (v != 0.0f) {
+                csc.values_.push_back(v);
+                csc.rows_.push_back(y);
+            }
+        }
+        csc.colPtr_[x + 1] = static_cast<std::uint32_t>(csc.values_.size());
+    }
+    return csc;
+}
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    const CsrMatrix t = csr.transposed();
+    CscMatrix csc(csr.height(), csr.width());
+    csc.values_ = t.values();
+    csc.rows_ = t.columns();
+    csc.colPtr_ = t.rowPtr();
+    return csc;
+}
+
+std::uint32_t
+CscMatrix::colOfPosition(std::uint32_t pos) const
+{
+    ANT_ASSERT(pos < nnz(), "position ", pos, " beyond nnz ", nnz());
+    const auto it = std::upper_bound(colPtr_.begin(), colPtr_.end(), pos);
+    return static_cast<std::uint32_t>(it - colPtr_.begin()) - 1;
+}
+
+SparseEntry
+CscMatrix::entry(std::uint32_t pos) const
+{
+    return {values_[pos], colOfPosition(pos), rows_[pos]};
+}
+
+Dense2d<float>
+CscMatrix::toDense() const
+{
+    Dense2d<float> dense(height_, width_);
+    for (std::uint32_t x = 0; x < width_; ++x)
+        for (std::uint32_t i = colPtr_[x]; i < colPtr_[x + 1]; ++i)
+            dense.at(x, rows_[i]) = values_[i];
+    return dense;
+}
+
+} // namespace antsim

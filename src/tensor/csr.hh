@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Compressed sparse matrix formats (CSR and CSC) per Sec. 4.1.
+ *
+ * CSR represents a matrix with three arrays: Values (the non-zero
+ * elements in row-major order), Columns (the column index of each
+ * stored value), and Row-pointers (the offset of each row's first
+ * stored value). CSC is the dual, obtained as the CSR of the
+ * transposed matrix; the accelerator's matmul mode (Sec. 5) holds the
+ * image plane in CSC so that a group of n consecutive entries shares
+ * one column.
+ *
+ * The accelerator models stream these arrays exactly as the hardware's
+ * Image/Kernel Values and Indices Buffers would, so iteration order
+ * here *is* the hardware's element order.
+ */
+
+#ifndef ANTSIM_TENSOR_CSR_HH
+#define ANTSIM_TENSOR_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace antsim {
+
+/** One stored non-zero: value plus its (x, y) plane coordinates. */
+struct SparseEntry
+{
+    float value;
+    std::uint32_t x; //!< column index (s for kernels)
+    std::uint32_t y; //!< row index (r for kernels)
+};
+
+/**
+ * Compressed Sparse Row matrix of float values.
+ *
+ * Invariants (checked by validate()):
+ *  - rowPtr has height()+1 entries, rowPtr[0] == 0, non-decreasing;
+ *  - columns within each row are strictly increasing and < width();
+ *  - values.size() == columns.size() == rowPtr.back().
+ */
+class CsrMatrix
+{
+  public:
+    /** Construct an empty matrix of the given shape. */
+    CsrMatrix(std::uint32_t height, std::uint32_t width);
+
+    /** Compress a dense plane (drops exact zeros). */
+    static CsrMatrix fromDense(const Dense2d<float> &dense);
+
+    /**
+     * Build directly from raw arrays (takes ownership).
+     * Panics if the arrays violate the CSR invariants.
+     */
+    static CsrMatrix fromRaw(std::uint32_t height, std::uint32_t width,
+                             std::vector<float> values,
+                             std::vector<std::uint32_t> columns,
+                             std::vector<std::uint32_t> row_ptr);
+
+    /**
+     * Build from an unsorted coordinate list (duplicates are summed,
+     * resulting zeros kept -- callers that need exact-zero dropping
+     * should compress from dense).
+     */
+    static CsrMatrix fromCoo(std::uint32_t height, std::uint32_t width,
+                             std::vector<SparseEntry> entries);
+
+    /** Number of rows. */
+    std::uint32_t height() const { return height_; }
+
+    /** Number of columns. */
+    std::uint32_t width() const { return width_; }
+
+    /** Number of stored non-zeros. */
+    std::uint32_t nnz() const
+    {
+        return static_cast<std::uint32_t>(values_.size());
+    }
+
+    /** Fraction of elements that are zero (1.0 for an empty shape). */
+    double sparsity() const;
+
+    /** Values array (non-zeros in row-major order). */
+    const std::vector<float> &values() const { return values_; }
+
+    /** Columns array (column index per stored value). */
+    const std::vector<std::uint32_t> &columns() const { return columns_; }
+
+    /** Row-pointers array (height()+1 entries). */
+    const std::vector<std::uint32_t> &rowPtr() const { return rowPtr_; }
+
+    /** Row index of the stored element at flat position @p pos. */
+    std::uint32_t rowOfPosition(std::uint32_t pos) const;
+
+    /** The stored entry at flat position @p pos as (value, x, y). */
+    SparseEntry entry(std::uint32_t pos) const;
+
+    /** Decompress back to a dense plane. */
+    Dense2d<float> toDense() const;
+
+    /** All stored entries in storage order. */
+    std::vector<SparseEntry> entries() const;
+
+    /**
+     * Rotate the matrix by 180 degrees (Algorithm 3):
+     * y' = H - y - 1, x' = W - x - 1. Values are unchanged; only the
+     * index arrays are remapped, as in the ANT ROTATE-flag hardware
+     * (Sec. 4.5).
+     */
+    CsrMatrix rotated180() const;
+
+    /** Transpose (used to derive the CSC view). */
+    CsrMatrix transposed() const;
+
+    /** Panics if the structural invariants are violated. */
+    void validate() const;
+
+    bool operator==(const CsrMatrix &o) const;
+
+  private:
+    std::uint32_t height_;
+    std::uint32_t width_;
+    std::vector<float> values_;
+    std::vector<std::uint32_t> columns_;
+    std::vector<std::uint32_t> rowPtr_;
+};
+
+/**
+ * Compressed Sparse Column view: the CSR of the transposed matrix,
+ * re-labelled. rows() plays the role of the Columns array (it stores
+ * row indices) and colPtr() the role of Row-pointers.
+ */
+class CscMatrix
+{
+  public:
+    /** Compress a dense plane column-major. */
+    static CscMatrix fromDense(const Dense2d<float> &dense);
+
+    /** Convert from CSR. */
+    static CscMatrix fromCsr(const CsrMatrix &csr);
+
+    /** Number of rows of the logical matrix. */
+    std::uint32_t height() const { return height_; }
+
+    /** Number of columns of the logical matrix. */
+    std::uint32_t width() const { return width_; }
+
+    /** Number of stored non-zeros. */
+    std::uint32_t nnz() const
+    {
+        return static_cast<std::uint32_t>(values_.size());
+    }
+
+    /** Values in column-major order. */
+    const std::vector<float> &values() const { return values_; }
+
+    /** Row index of each stored value. */
+    const std::vector<std::uint32_t> &rows() const { return rows_; }
+
+    /** Column-pointer array (width()+1 entries). */
+    const std::vector<std::uint32_t> &colPtr() const { return colPtr_; }
+
+    /** Column index of the stored element at flat position @p pos. */
+    std::uint32_t colOfPosition(std::uint32_t pos) const;
+
+    /** The stored entry at flat position @p pos as (value, x, y). */
+    SparseEntry entry(std::uint32_t pos) const;
+
+    /** Decompress to dense. */
+    Dense2d<float> toDense() const;
+
+  private:
+    CscMatrix(std::uint32_t height, std::uint32_t width)
+        : height_(height), width_(width), colPtr_(width + 1, 0)
+    {}
+
+    std::uint32_t height_;
+    std::uint32_t width_;
+    std::vector<float> values_;
+    std::vector<std::uint32_t> rows_;
+    std::vector<std::uint32_t> colPtr_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_TENSOR_CSR_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dense 2-D matrix used as the functional reference representation.
+ *
+ * The simulator's functional checks accumulate into Dense2d<double> and
+ * compare against a dense reference convolution; trace generation fills
+ * Dense2d<float> planes before compressing them to CSR/CSC.
+ *
+ * Index convention (matches the paper, Sec. 3): a plane has height H
+ * (rows, index y or r) and width W (columns, index x or s). Element
+ * (x, y) is at column x of row y.
+ */
+
+#ifndef ANTSIM_TENSOR_MATRIX_HH
+#define ANTSIM_TENSOR_MATRIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+/** Row-major dense matrix. */
+template <typename T>
+class Dense2d
+{
+  public:
+    /** Construct an empty 0x0 matrix. */
+    Dense2d() : height_(0), width_(0) {}
+
+    /** Construct an H x W matrix filled with @p fill. */
+    Dense2d(std::uint32_t height, std::uint32_t width, T fill = T())
+        : height_(height), width_(width),
+          data_(static_cast<std::size_t>(height) * width, fill)
+    {}
+
+    /** Number of rows (H dimension). */
+    std::uint32_t height() const { return height_; }
+
+    /** Number of columns (W dimension). */
+    std::uint32_t width() const { return width_; }
+
+    /** Total number of elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Mutable element access at column @p x, row @p y. */
+    T &
+    at(std::uint32_t x, std::uint32_t y)
+    {
+        ANT_ASSERT(x < width_ && y < height_, "index (", x, ",", y,
+                   ") out of ", width_, "x", height_, " bounds");
+        return data_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** Const element access at column @p x, row @p y. */
+    const T &
+    at(std::uint32_t x, std::uint32_t y) const
+    {
+        ANT_ASSERT(x < width_ && y < height_, "index (", x, ",", y,
+                   ") out of ", width_, "x", height_, " bounds");
+        return data_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** Count of non-zero elements. */
+    std::size_t
+    nnz() const
+    {
+        std::size_t count = 0;
+        for (const T &v : data_)
+            if (v != T())
+                ++count;
+        return count;
+    }
+
+    /** Fraction of elements equal to zero (1.0 for an empty matrix). */
+    double
+    sparsity() const
+    {
+        if (data_.empty())
+            return 1.0;
+        return 1.0 -
+            static_cast<double>(nnz()) / static_cast<double>(data_.size());
+    }
+
+    /** Raw row-major storage. */
+    const std::vector<T> &data() const { return data_; }
+
+    /** Raw row-major storage (mutable). */
+    std::vector<T> &data() { return data_; }
+
+    bool
+    operator==(const Dense2d &o) const
+    {
+        return height_ == o.height_ && width_ == o.width_ &&
+            data_ == o.data_;
+    }
+
+  private:
+    std::uint32_t height_;
+    std::uint32_t width_;
+    std::vector<T> data_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_TENSOR_MATRIX_HH

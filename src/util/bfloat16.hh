@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bfloat16 storage type used by the accelerator value datapath.
+ *
+ * The paper's datapath performs all multiplies and adds in Bfloat16
+ * (Table 4). We model bf16 as a 16-bit storage format: the top 16 bits
+ * of an IEEE-754 binary32, with round-to-nearest-even conversion.
+ * Arithmetic is performed by widening to float, which matches how a
+ * bf16 FMA datapath with a float accumulator behaves.
+ */
+
+#ifndef ANTSIM_UTIL_BFLOAT16_HH
+#define ANTSIM_UTIL_BFLOAT16_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace antsim {
+
+/** 16-bit brain floating-point value. */
+class Bfloat16
+{
+  public:
+    /** Default-construct as +0.0. */
+    constexpr Bfloat16() : bits_(0) {}
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Bfloat16(float value) : bits_(fromFloatBits(value)) {}
+
+    /** Reinterpret raw storage bits as a Bfloat16. */
+    static constexpr Bfloat16
+    fromBits(std::uint16_t bits)
+    {
+        Bfloat16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    /** Raw 16-bit representation. */
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Widen to float (exact). */
+    float
+    toFloat() const
+    {
+        const std::uint32_t w = static_cast<std::uint32_t>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &w, sizeof(f));
+        return f;
+    }
+
+    /** Implicit widening conversion for arithmetic convenience. */
+    operator float() const { return toFloat(); }
+
+    bool operator==(const Bfloat16 &o) const { return bits_ == o.bits_; }
+    bool operator!=(const Bfloat16 &o) const { return bits_ != o.bits_; }
+
+  private:
+    static std::uint16_t
+    fromFloatBits(float value)
+    {
+        std::uint32_t w;
+        std::memcpy(&w, &value, sizeof(w));
+        // Preserve NaN payloads by forcing a quiet NaN.
+        if ((w & 0x7f800000u) == 0x7f800000u && (w & 0x007fffffu) != 0)
+            return static_cast<std::uint16_t>((w >> 16) | 0x0040u);
+        // Round to nearest even on the truncated 16 bits.
+        const std::uint32_t rounding = 0x7fffu + ((w >> 16) & 1u);
+        return static_cast<std::uint16_t>((w + rounding) >> 16);
+    }
+
+    std::uint16_t bits_;
+};
+
+/** Round a float through bf16 precision (quantize-dequantize). */
+inline float
+bf16Round(float value)
+{
+    return Bfloat16(value).toFloat();
+}
+
+} // namespace antsim
+
+#endif // ANTSIM_UTIL_BFLOAT16_HH

@@ -1,0 +1,92 @@
+#include "cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace antsim {
+
+Cli::Cli(int argc, const char *const *argv,
+         const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            ANT_FATAL("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name;
+        std::string value;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // "--flag value" form unless the next token is another flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            ANT_FATAL("unknown flag '--", name, "'");
+        values_[name] = value;
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Cli::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        ANT_FATAL("flag --", name, " expects an integer, got '", it->second,
+                  "'");
+    return v;
+}
+
+double
+Cli::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        ANT_FATAL("flag --", name, " expects a number, got '", it->second,
+                  "'");
+    return v;
+}
+
+bool
+Cli::getBool(const std::string &name, bool fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace antsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal command-line flag parser for bench/example binaries.
+ *
+ * Supports "--name value" and "--name=value" forms plus boolean
+ * switches. Unknown flags are fatal so typos do not silently run the
+ * default experiment.
+ */
+
+#ifndef ANTSIM_UTIL_CLI_HH
+#define ANTSIM_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace antsim {
+
+/** Parsed command-line flags. */
+class Cli
+{
+  public:
+    /**
+     * Parse argv.
+     * @param known Names (without "--") that this binary accepts.
+     */
+    Cli(int argc, const char *const *argv,
+        const std::vector<std::string> &known);
+
+    /** True if the flag appeared at all. */
+    bool has(const std::string &name) const;
+
+    /** String value, or @p fallback if absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value, or @p fallback if absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t fallback) const;
+
+    /** Double value, or @p fallback if absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean switch: present without value, or "true"/"1". */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_UTIL_CLI_HH

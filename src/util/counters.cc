@@ -1,0 +1,70 @@
+#include "counters.hh"
+
+#include <sstream>
+
+#include "logging.hh"
+
+namespace antsim {
+
+const char *
+counterName(Counter c)
+{
+    switch (c) {
+      case Counter::MultsExecuted: return "mults_executed";
+      case Counter::MultsValid: return "mults_valid";
+      case Counter::MultsRcp: return "mults_rcp";
+      case Counter::RcpsAvoided: return "rcps_avoided";
+      case Counter::AccumAdds: return "accum_adds";
+      case Counter::OutputIndexCalcs: return "output_index_calcs";
+      case Counter::IndexCompares: return "index_compares";
+      case Counter::SramValueReads: return "sram_value_reads";
+      case Counter::SramIndexReads: return "sram_index_reads";
+      case Counter::SramRowPtrReads: return "sram_rowptr_reads";
+      case Counter::SramWrites: return "sram_writes";
+      case Counter::SramReadsAvoided: return "sram_reads_avoided";
+      case Counter::StartupCycles: return "startup_cycles";
+      case Counter::ActiveCycles: return "active_cycles";
+      case Counter::IdleScanCycles: return "idle_scan_cycles";
+      case Counter::Cycles: return "cycles";
+      case Counter::TasksProcessed: return "tasks_processed";
+      case Counter::NumCounters: break;
+    }
+    ANT_PANIC("unknown counter id ", static_cast<unsigned>(c));
+}
+
+CounterSet &
+CounterSet::operator+=(const CounterSet &other)
+{
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        values_[i] += other.values_[i];
+    return *this;
+}
+
+void
+CounterSet::scale(std::uint64_t num, std::uint64_t den)
+{
+    ANT_ASSERT(den > 0, "scale denominator must be positive");
+    for (auto &v : values_) {
+        // Scale in floating point: counts here are statistical estimates
+        // when channel-pair sampling is active, so exactness in the low
+        // bits is not meaningful, but overflow safety is.
+        const double scaled = static_cast<double>(v) *
+            static_cast<double>(num) / static_cast<double>(den);
+        v = static_cast<std::uint64_t>(scaled + 0.5);
+    }
+}
+
+std::string
+CounterSet::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        if (values_[i] == 0)
+            continue;
+        oss << counterName(static_cast<Counter>(i)) << " = " << values_[i]
+            << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace antsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for trace synthesis.
+ *
+ * ANTSim experiments must be exactly reproducible across runs and
+ * platforms, so we implement xoshiro256** ourselves rather than relying
+ * on implementation-defined std::default_random_engine behaviour, and we
+ * provide distribution helpers with fully specified algorithms.
+ */
+
+#ifndef ANTSIM_UTIL_RNG_HH
+#define ANTSIM_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace antsim {
+
+/**
+ * xoshiro256** generator (public-domain algorithm by Blackman & Vigna).
+ *
+ * Seeded through SplitMix64 so that any 64-bit seed produces a
+ * well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /** Standard normal via Box-Muller (deterministic, no cached spare). */
+    double normal();
+
+    /**
+     * Deterministic Fisher-Yates shuffle of an index vector.
+     * @param n Number of indices, shuffled result is a permutation of 0..n-1.
+     */
+    std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+    /**
+     * Sample @p count distinct indices from [0, n) (Floyd's algorithm),
+     * returned unsorted. Requires count <= n.
+     */
+    std::vector<std::uint32_t> sampleWithoutReplacement(std::uint32_t n,
+                                                        std::uint32_t count);
+
+    /** Derive an independent child generator (for per-plane streams). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_UTIL_RNG_HH

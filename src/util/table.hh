@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for benchmark harnesses.
+ *
+ * Every bench binary prints the rows of the paper table/figure it
+ * reproduces; Table gives them a consistent aligned layout and an
+ * optional machine-readable CSV dump.
+ */
+
+#ifndef ANTSIM_UTIL_TABLE_HH
+#define ANTSIM_UTIL_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace antsim {
+
+/** A simple column-aligned text table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format as a multiplier, e.g. "3.71x". */
+    static std::string times(double value, int precision = 2);
+
+    /** Convenience: format as a percentage, e.g. "96.52%". */
+    static std::string percent(double fraction, int precision = 2);
+
+    /** Render as an aligned text table. */
+    std::string toString() const;
+
+    /** Render as CSV (RFC-4180-ish quoting for commas/quotes). */
+    std::string toCsv() const;
+
+    /** Print the aligned table to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_UTIL_TABLE_HH

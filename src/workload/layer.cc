@@ -1,0 +1,37 @@
+#include "layer.hh"
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+const char *
+phaseName(TrainingPhase phase)
+{
+    switch (phase) {
+      case TrainingPhase::Forward: return "W*A";
+      case TrainingPhase::Backward: return "W*G_A";
+      case TrainingPhase::Update: return "G_A*A";
+    }
+    ANT_PANIC("unknown training phase");
+}
+
+ProblemSpec
+ConvLayer::spec(TrainingPhase phase) const
+{
+    const PhaseSpecs specs = phaseSpecs();
+    switch (phase) {
+      case TrainingPhase::Forward: return specs.forward;
+      case TrainingPhase::Backward: return specs.backward;
+      case TrainingPhase::Update: return specs.update;
+    }
+    ANT_PANIC("unknown training phase");
+}
+
+std::uint64_t
+ConvLayer::forwardMacs() const
+{
+    const ProblemSpec fwd = spec(TrainingPhase::Forward);
+    return planePairs() * fwd.denseValidProducts();
+}
+
+} // namespace antsim

@@ -1,0 +1,262 @@
+#include "networks.hh"
+
+#include <cstdio>
+
+namespace antsim {
+
+namespace {
+
+/** Shorthand constructor with a printf-style layer name. */
+ConvLayer
+conv(const std::string &name, std::uint32_t in_ch, std::uint32_t out_ch,
+     std::uint32_t spatial, std::uint32_t kernel, std::uint32_t stride,
+     std::uint32_t pad)
+{
+    return ConvLayer{name, in_ch, out_ch, spatial, spatial, kernel, stride,
+                     pad};
+}
+
+std::string
+indexedName(const char *prefix, unsigned index)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s%u", prefix, index);
+    return buf;
+}
+
+} // namespace
+
+std::vector<ConvLayer>
+resnet18Cifar()
+{
+    std::vector<ConvLayer> layers;
+    layers.push_back(conv("conv1", 3, 64, 32, 3, 1, 1));
+
+    struct Stage { std::uint32_t ch, spatial, stride; };
+    const Stage stages[] = {{64, 32, 1}, {128, 32, 2}, {256, 16, 2},
+                            {512, 8, 2}};
+    std::uint32_t in_ch = 64;
+    unsigned idx = 0;
+    for (const Stage &st : stages) {
+        // First block of the stage (may downsample).
+        layers.push_back(conv(indexedName("b", idx) + "_conv1", in_ch,
+                              st.ch, st.spatial, 3, st.stride, 1));
+        const std::uint32_t out_spatial = st.spatial / st.stride;
+        layers.push_back(conv(indexedName("b", idx) + "_conv2", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        if (st.stride != 1 || in_ch != st.ch) {
+            layers.push_back(conv(indexedName("b", idx) + "_down", in_ch,
+                                  st.ch, st.spatial, 1, st.stride, 0));
+        }
+        ++idx;
+        // Second block.
+        layers.push_back(conv(indexedName("b", idx) + "_conv1", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        layers.push_back(conv(indexedName("b", idx) + "_conv2", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        ++idx;
+        in_ch = st.ch;
+    }
+    return layers;
+}
+
+std::vector<ConvLayer>
+resnet18Imagenet()
+{
+    std::vector<ConvLayer> layers;
+    layers.push_back(conv("conv1", 3, 64, 224, 7, 2, 3));
+
+    struct Stage { std::uint32_t ch, spatial, stride; };
+    // After the stem's maxpool, conv2_x sees 56x56.
+    const Stage stages[] = {{64, 56, 1}, {128, 56, 2}, {256, 28, 2},
+                            {512, 14, 2}};
+    std::uint32_t in_ch = 64;
+    unsigned idx = 0;
+    for (const Stage &st : stages) {
+        layers.push_back(conv(indexedName("b", idx) + "_conv1", in_ch,
+                              st.ch, st.spatial, 3, st.stride, 1));
+        const std::uint32_t out_spatial = st.spatial / st.stride;
+        layers.push_back(conv(indexedName("b", idx) + "_conv2", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        if (st.stride != 1 || in_ch != st.ch) {
+            layers.push_back(conv(indexedName("b", idx) + "_down", in_ch,
+                                  st.ch, st.spatial, 1, st.stride, 0));
+        }
+        ++idx;
+        layers.push_back(conv(indexedName("b", idx) + "_conv1", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        layers.push_back(conv(indexedName("b", idx) + "_conv2", st.ch,
+                              st.ch, out_spatial, 3, 1, 1));
+        ++idx;
+        in_ch = st.ch;
+    }
+    return layers;
+}
+
+std::vector<ConvLayer>
+vgg16Cifar()
+{
+    std::vector<ConvLayer> layers;
+    struct Block { std::uint32_t ch, count, spatial; };
+    const Block blocks[] = {{64, 2, 32}, {128, 2, 16}, {256, 3, 8},
+                            {512, 3, 4}, {512, 3, 2}};
+    std::uint32_t in_ch = 3;
+    unsigned idx = 1;
+    for (const Block &b : blocks) {
+        for (std::uint32_t i = 0; i < b.count; ++i) {
+            layers.push_back(conv(indexedName("conv", idx), in_ch, b.ch,
+                                  b.spatial, 3, 1, 1));
+            in_ch = b.ch;
+            ++idx;
+        }
+    }
+    return layers;
+}
+
+std::vector<ConvLayer>
+densenet121Cifar()
+{
+    // Growth rate 32, bottleneck factor 4, compression 0.5,
+    // block sizes 6/12/24/16, spatial 32/16/8/4.
+    const std::uint32_t growth = 32;
+    const std::uint32_t block_sizes[] = {6, 12, 24, 16};
+    const std::uint32_t spatials[] = {32, 16, 8, 4};
+
+    std::vector<ConvLayer> layers;
+    std::uint32_t channels = 2 * growth;
+    layers.push_back(conv("conv0", 3, channels, 32, 3, 1, 1));
+
+    for (unsigned block = 0; block < 4; ++block) {
+        const std::uint32_t spatial = spatials[block];
+        for (std::uint32_t i = 0; i < block_sizes[block]; ++i) {
+            const std::string base =
+                indexedName("d", block) + "_" + indexedName("l", i);
+            layers.push_back(conv(base + "_1x1", channels, 4 * growth,
+                                  spatial, 1, 1, 0));
+            layers.push_back(conv(base + "_3x3", 4 * growth, growth,
+                                  spatial, 3, 1, 1));
+            channels += growth;
+        }
+        if (block < 3) {
+            // Transition: 1x1 compression then 2x2 average pool.
+            const std::uint32_t out = channels / 2;
+            layers.push_back(conv(indexedName("t", block) + "_1x1",
+                                  channels, out, spatial, 1, 1, 0));
+            channels = out;
+        }
+    }
+    return layers;
+}
+
+std::vector<ConvLayer>
+wrn16x8Cifar()
+{
+    // WRN-16-8: depth 16 => (16-4)/6 = 2 blocks per group, widen 8.
+    const std::uint32_t widen = 8;
+    const std::uint32_t widths[] = {16 * widen, 32 * widen, 64 * widen};
+    const std::uint32_t spatials[] = {32, 32, 16};
+    const std::uint32_t strides[] = {1, 2, 2};
+
+    std::vector<ConvLayer> layers;
+    layers.push_back(conv("conv1", 3, 16, 32, 3, 1, 1));
+    std::uint32_t in_ch = 16;
+    for (unsigned g = 0; g < 3; ++g) {
+        const std::uint32_t out_spatial = spatials[g] / strides[g];
+        const std::string base = indexedName("g", g);
+        // Block 0 (downsampling / widening) with 1x1 shortcut.
+        layers.push_back(conv(base + "_b0_conv1", in_ch, widths[g],
+                              spatials[g], 3, strides[g], 1));
+        layers.push_back(conv(base + "_b0_conv2", widths[g], widths[g],
+                              out_spatial, 3, 1, 1));
+        layers.push_back(conv(base + "_b0_down", in_ch, widths[g],
+                              spatials[g], 1, strides[g], 0));
+        // Block 1.
+        layers.push_back(conv(base + "_b1_conv1", widths[g], widths[g],
+                              out_spatial, 3, 1, 1));
+        layers.push_back(conv(base + "_b1_conv2", widths[g], widths[g],
+                              out_spatial, 3, 1, 1));
+        in_ch = widths[g];
+    }
+    return layers;
+}
+
+std::vector<ConvLayer>
+resnet50Imagenet()
+{
+    std::vector<ConvLayer> layers;
+    layers.push_back(conv("conv1", 3, 64, 224, 7, 2, 3));
+
+    struct Stage { std::uint32_t mid, out, blocks, spatial, stride; };
+    // Spatial is the stage's input resolution (after the stem's
+    // maxpool, conv2_x sees 56x56).
+    const Stage stages[] = {{64, 256, 3, 56, 1},
+                            {128, 512, 4, 56, 2},
+                            {256, 1024, 6, 28, 2},
+                            {512, 2048, 3, 14, 2}};
+    std::uint32_t in_ch = 64;
+    unsigned sidx = 2;
+    for (const Stage &st : stages) {
+        const std::uint32_t out_spatial = st.spatial / st.stride;
+        for (std::uint32_t b = 0; b < st.blocks; ++b) {
+            const std::string base =
+                indexedName("conv", sidx) + "_" + indexedName("b", b);
+            const std::uint32_t stride = b == 0 ? st.stride : 1;
+            const std::uint32_t spatial = b == 0 ? st.spatial : out_spatial;
+            layers.push_back(conv(base + "_1x1a", in_ch, st.mid, spatial, 1,
+                                  1, 0));
+            layers.push_back(conv(base + "_3x3", st.mid, st.mid, spatial, 3,
+                                  stride, 1));
+            layers.push_back(conv(base + "_1x1b", st.mid, st.out,
+                                  out_spatial, 1, 1, 0));
+            if (b == 0) {
+                layers.push_back(conv(base + "_down", in_ch, st.out,
+                                      spatial, 1, stride, 0));
+            }
+            in_ch = st.out;
+        }
+        ++sidx;
+    }
+    return layers;
+}
+
+std::vector<NamedNetwork>
+figure9Networks()
+{
+    return {
+        {"DenseNet-121", densenet121Cifar(), false},
+        {"ResNet18", resnet18Cifar(), false},
+        {"VGG16", vgg16Cifar(), false},
+        {"WRN-16-8", wrn16x8Cifar(), false},
+        {"ResNet50", resnet50Imagenet(), true},
+    };
+}
+
+std::vector<MatmulLayer>
+transformerLayers()
+{
+    // The Table 3 transformer rows: QKV/output projections at sequence
+    // length 512, head dim 72, and the attention-context matmul.
+    return {
+        {"proj_fwd", 512, 72, 72, 512},
+        {"proj_upd", 72, 512, 512, 512},
+        {"head_fwd", 64, 10, 10, 10},
+        {"head_bwd", 10, 10, 10, 64},
+        {"head_upd", 10, 64, 64, 10},
+    };
+}
+
+std::vector<MatmulLayer>
+rnnLayers()
+{
+    // The Table 3 IMDB RNN rows (embedding 300, hidden 300, gates 4x).
+    return {
+        {"rnn3_fwd", 300, 3, 3, 1200},
+        {"rnn3_bwd", 1200, 3, 3, 300},
+        {"rnn3_upd", 3, 300, 300, 1200},
+        {"rnn8_fwd", 300, 8, 8, 1200},
+        {"rnn8_bwd", 1200, 8, 8, 300},
+        {"rnn8_upd", 8, 300, 300, 1200},
+    };
+}
+
+} // namespace antsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Layer tables of the evaluated networks (Sec. 6.1-6.2).
+ *
+ * CNNs: ResNet18, VGG16, DenseNet-121 and WRN-16-8 at CIFAR input
+ * resolution (32x32), and ResNet50 at ImageNet resolution (224x224).
+ * Only convolution layers are listed -- the paper omits the SGD weight
+ * update and fully-connected heads from the CNN evaluation (Sec. 6.2).
+ *
+ * Matmul workloads: the text-translation transformer and the IMDB
+ * text-classification RNN of Table 3 / Sec. 7.8.
+ */
+
+#ifndef ANTSIM_WORKLOAD_NETWORKS_HH
+#define ANTSIM_WORKLOAD_NETWORKS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/layer.hh"
+
+namespace antsim {
+
+/** ResNet18 for CIFAR (3x3 stem, four 2-block stages). */
+std::vector<ConvLayer> resnet18Cifar();
+
+/** ResNet18 for ImageNet (7x7 stem at 224x224; used by Fig. 1). */
+std::vector<ConvLayer> resnet18Imagenet();
+
+/** VGG16 for CIFAR (thirteen 3x3 convolutions). */
+std::vector<ConvLayer> vgg16Cifar();
+
+/** DenseNet-121 for CIFAR (growth 32, bottleneck blocks, transitions). */
+std::vector<ConvLayer> densenet121Cifar();
+
+/** Wide ResNet WRN-16-8 for CIFAR. */
+std::vector<ConvLayer> wrn16x8Cifar();
+
+/** ResNet50 for ImageNet (7x7 stem, bottleneck stages). */
+std::vector<ConvLayer> resnet50Imagenet();
+
+/** The five CNNs of Fig. 9 / Table 5, keyed by display name. */
+struct NamedNetwork
+{
+    std::string name;
+    std::vector<ConvLayer> layers;
+    /** Sparsification used by the paper for this network. */
+    bool syntheticTopK;
+};
+
+/** All Fig. 9 networks in paper order. */
+std::vector<NamedNetwork> figure9Networks();
+
+/** Text-translation transformer projection layers (Table 3). */
+std::vector<MatmulLayer> transformerLayers();
+
+/** IMDB text-classification RNN layers (Table 3). */
+std::vector<MatmulLayer> rnnLayers();
+
+} // namespace antsim
+
+#endif // ANTSIM_WORKLOAD_NETWORKS_HH

@@ -1,0 +1,156 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/chunking.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** Run one generated plane pair through the PE, chunked to capacity. */
+CounterSet
+runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
+{
+    CounterSet total;
+    // Dense-tiled baselines must not have their MAC stream split by
+    // the sparse buffer capacity.
+    if (!pe.usesCompressedOperands())
+        capacity = std::numeric_limits<std::uint32_t>::max();
+    const auto kernel_chunks = chunkByCapacity(pair.kernel, capacity);
+    const auto image_chunks = chunkByCapacity(pair.image, capacity);
+    for (const auto &task : allChunkPairs(kernel_chunks, image_chunks)) {
+        const PeResult r = pe.runPair(pair.spec, *task.kernel, *task.image,
+                                      /*collect_output=*/false);
+        total += r.counters;
+        total.add(Counter::TasksProcessed);
+    }
+    return total;
+}
+
+} // namespace
+
+double
+NetworkStats::rcpAvoidedFraction() const
+{
+    const std::uint64_t avoided = total.get(Counter::RcpsAvoided);
+    const std::uint64_t suffered = total.get(Counter::MultsRcp);
+    const std::uint64_t all = avoided + suffered;
+    return all == 0 ? 1.0
+                    : static_cast<double>(avoided) /
+            static_cast<double>(all);
+}
+
+double
+NetworkStats::validMultFraction() const
+{
+    const std::uint64_t executed = total.get(Counter::MultsExecuted);
+    return executed == 0 ? 1.0
+                         : static_cast<double>(
+                               total.get(Counter::MultsValid)) /
+            static_cast<double>(executed);
+}
+
+NetworkStats
+runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
+               const SparsityProfile &profile, const RunConfig &config)
+{
+    ANT_ASSERT(config.sampleCap > 0, "sampleCap must be positive");
+    NetworkStats stats;
+
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        const ConvLayer &layer = layers[li];
+        LayerStats layer_stats;
+        layer_stats.name = layer.name;
+
+        for (unsigned pi = 0; pi < 3; ++pi) {
+            if (!config.phases[pi])
+                continue;
+            const auto phase = static_cast<TrainingPhase>(pi);
+            PhaseStats &ps = layer_stats.phases[pi];
+            // One channel-batched task per image channel (forward,
+            // update) or gradient channel (backward); the kernel stack
+            // covers the other channel axis in full.
+            ps.pairsTotal = stackTaskCount(layer, phase);
+            ps.pairsSimulated = std::min<std::uint64_t>(
+                ps.pairsTotal, config.sampleCap);
+
+            for (std::uint64_t s = 0; s < ps.pairsSimulated; ++s) {
+                // Spread samples evenly across the channel axis.
+                const std::uint64_t task_index =
+                    s * ps.pairsTotal / ps.pairsSimulated;
+                Rng rng(mixSeed(config.seed, li, pi, task_index));
+                const StackTask task =
+                    makeConvPhaseTask(layer, phase, profile, rng);
+                const auto kernel_ptrs = task.kernelPtrs();
+
+                // Image chunking: the stationary image must fit the
+                // 8 KB buffer; each image chunk reloads the PE (its
+                // own start-up) and re-streams the kernel stack.
+                std::uint32_t capacity = config.chunkCapacity;
+                if (!pe.usesCompressedOperands())
+                    capacity = std::numeric_limits<std::uint32_t>::max();
+                for (const CsrMatrix &image_chunk :
+                     chunkByCapacity(task.image, capacity)) {
+                    const PeResult r =
+                        pe.runStack(task.spec, kernel_ptrs, image_chunk,
+                                    /*collect_output=*/false);
+                    ps.counters += r.counters;
+                    ps.counters.add(Counter::TasksProcessed);
+                }
+            }
+            ps.counters.scale(ps.pairsTotal, ps.pairsSimulated);
+            stats.total += ps.counters;
+        }
+        stats.layers.push_back(std::move(layer_stats));
+    }
+    return stats;
+}
+
+NetworkStats
+runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
+                 double sparsity, SparsifyMethod method,
+                 const RunConfig &config)
+{
+    NetworkStats stats;
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        LayerStats layer_stats;
+        layer_stats.name = layers[li].name;
+        PhaseStats &ps = layer_stats.phases[0];
+        ps.pairsTotal = 1;
+        ps.pairsSimulated = 1;
+
+        Rng rng(mixSeed(config.seed, li, 0, 0));
+        const PlanePair pair =
+            makeMatmulPair(layers[li], sparsity, method, rng);
+        ps.counters += runPlanePair(pe, pair, config.chunkCapacity);
+        stats.total += ps.counters;
+        stats.layers.push_back(std::move(layer_stats));
+    }
+    return stats;
+}
+
+double
+speedupOf(const NetworkStats &slow, const NetworkStats &fast)
+{
+    const auto fast_cycles =
+        static_cast<double>(fast.total.get(Counter::Cycles));
+    const auto slow_cycles =
+        static_cast<double>(slow.total.get(Counter::Cycles));
+    ANT_ASSERT(fast_cycles > 0.0, "fast run has zero cycles");
+    return slow_cycles / fast_cycles;
+}
+
+double
+energyRatioOf(const NetworkStats &slow, const NetworkStats &fast,
+              const EnergyModel &model)
+{
+    const double fast_pj = fast.energyPj(model);
+    const double slow_pj = slow.energyPj(model);
+    ANT_ASSERT(fast_pj > 0.0, "fast run has zero energy");
+    return slow_pj / fast_pj;
+}
+
+} // namespace antsim

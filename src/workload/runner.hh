@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment runner: simulate a network's training convolutions on an
+ * accelerator model and aggregate counters.
+ *
+ * A conv layer expands into outChannels x inChannels plane pairs per
+ * phase. The runner simulates a deterministic sample of those pairs
+ * (counters are linear in the pair count, so scaling the sampled
+ * counters by pairsTotal/pairsSampled is unbiased; see DESIGN.md) and
+ * accumulates per-phase, per-layer, and network totals.
+ *
+ * Accelerator-level cycles follow the paper's perfect-load-balance
+ * assumption (Sec. 6.1): accelCycles = ceil(sum of PE task cycles /
+ * numPes). Speedup and relative energy between two runs are therefore
+ * ratios of summed PE cycles / energies.
+ */
+
+#ifndef ANTSIM_WORKLOAD_RUNNER_HH
+#define ANTSIM_WORKLOAD_RUNNER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/energy.hh"
+#include "sim/pe_model.hh"
+#include "workload/networks.hh"
+#include "workload/tracegen.hh"
+
+namespace antsim {
+
+/** Runner parameters. */
+struct RunConfig
+{
+    /** Max plane pairs sampled per (layer, phase). */
+    std::uint32_t sampleCap = 24;
+    /** Root seed of the deterministic trace hierarchy. */
+    std::uint64_t seed = 42;
+    /** PEs for accelerator-cycle reduction (Table 4: 64). */
+    std::uint32_t numPes = 64;
+    /** Operand chunk capacity in non-zeros (8 KB / 16-bit values). */
+    std::uint32_t chunkCapacity = 4096;
+    /** Which phases to simulate (Forward, Backward, Update). */
+    std::array<bool, 3> phases = {true, true, true};
+};
+
+/** Aggregated statistics of one (layer, phase). */
+struct PhaseStats
+{
+    CounterSet counters;
+    std::uint64_t pairsTotal = 0;
+    std::uint64_t pairsSimulated = 0;
+};
+
+/** Per-layer statistics. */
+struct LayerStats
+{
+    std::string name;
+    std::array<PhaseStats, 3> phases;
+};
+
+/** Whole-network run outcome. */
+struct NetworkStats
+{
+    std::vector<LayerStats> layers;
+    /** Scaled totals across layers and phases. */
+    CounterSet total;
+
+    /** Accelerator cycles under perfect load balance. */
+    std::uint64_t
+    acceleratorCycles(std::uint32_t num_pes) const
+    {
+        const std::uint64_t pe_cycles = total.get(Counter::Cycles);
+        return (pe_cycles + num_pes - 1) / num_pes;
+    }
+
+    /** Total energy in picojoules under @p model. */
+    double
+    energyPj(const EnergyModel &model) const
+    {
+        return model.totalPj(total);
+    }
+
+    /** Fraction of all RCPs that were avoided (1.0 when no RCPs). */
+    double rcpAvoidedFraction() const;
+
+    /** Fraction of executed multiplies that were valid. */
+    double validMultFraction() const;
+};
+
+/** Simulate a conv network's training step on a PE model. */
+NetworkStats runConvNetwork(PeModel &pe,
+                            const std::vector<ConvLayer> &layers,
+                            const SparsityProfile &profile,
+                            const RunConfig &config);
+
+/** Simulate a matmul workload (all layers, single pairs) on a PE. */
+NetworkStats runMatmulNetwork(PeModel &pe,
+                              const std::vector<MatmulLayer> &layers,
+                              double sparsity, SparsifyMethod method,
+                              const RunConfig &config);
+
+/** Speedup of @p fast over @p slow (ratio of summed PE cycles). */
+double speedupOf(const NetworkStats &slow, const NetworkStats &fast);
+
+/** Energy ratio slow/fast (how many times less energy fast uses). */
+double energyRatioOf(const NetworkStats &slow, const NetworkStats &fast,
+                     const EnergyModel &model = EnergyModel{});
+
+} // namespace antsim
+
+#endif // ANTSIM_WORKLOAD_RUNNER_HH

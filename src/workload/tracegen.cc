@@ -1,0 +1,195 @@
+#include "tracegen.hh"
+
+#include "tensor/sparsify.hh"
+#include "util/bfloat16.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+        std::uint64_t c_value)
+{
+    // SplitMix64-style avalanche over the concatenated stream.
+    std::uint64_t x = seed;
+    for (std::uint64_t v : {a, b, c_value}) {
+        x += 0x9e3779b97f4a7c15ull + v;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        x = x ^ (x >> 31);
+    }
+    return x;
+}
+
+Dense2d<float>
+generatePlane(std::uint32_t height, std::uint32_t width, double sparsity,
+              SparsifyMethod method, Rng &rng)
+{
+    Dense2d<float> plane = method == SparsifyMethod::Bernoulli
+        ? bernoulliPlane(height, width, sparsity, rng)
+        : topKSparsify(randomDensePlane(height, width, rng), sparsity);
+    // The datapath stores Bfloat16 values (Table 4); quantize here so
+    // the whole simulation sees exactly what the hardware would.
+    for (float &v : plane.data())
+        v = bf16Round(v);
+    return plane;
+}
+
+Dense2d<float>
+embedPlane(const Dense2d<float> &inner, std::uint32_t out_height,
+           std::uint32_t out_width, std::uint32_t offset,
+           std::uint32_t dilation)
+{
+    ANT_ASSERT(dilation >= 1, "dilation must be at least 1");
+    ANT_ASSERT(offset + dilation * (inner.height() - 1) < out_height &&
+               offset + dilation * (inner.width() - 1) < out_width,
+               "embedded plane does not fit: inner ", inner.height(), "x",
+               inner.width(), " offset ", offset, " dilation ", dilation,
+               " into ", out_height, "x", out_width);
+
+    Dense2d<float> out(out_height, out_width);
+    for (std::uint32_t y = 0; y < inner.height(); ++y)
+        for (std::uint32_t x = 0; x < inner.width(); ++x)
+            out.at(offset + dilation * x, offset + dilation * y) =
+                inner.at(x, y);
+    return out;
+}
+
+PlanePair
+makeConvPhasePair(const ConvLayer &layer, TrainingPhase phase,
+                  const SparsityProfile &profile, Rng &rng)
+{
+    const PhaseSpecs specs = layer.phaseSpecs();
+    const ProblemSpec &fwd = specs.forward;
+
+    switch (phase) {
+      case TrainingPhase::Forward: {
+        Dense2d<float> w = generatePlane(layer.kernel, layer.kernel,
+                                         profile.weight, profile.method,
+                                         rng);
+        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
+                                         profile.method, rng);
+        return {fwd, CsrMatrix::fromDense(w),
+                CsrMatrix::fromDense(embedPlane(a, layer.paddedH(),
+                                                layer.paddedW(),
+                                                layer.pad))};
+      }
+      case TrainingPhase::Backward: {
+        Dense2d<float> w = generatePlane(layer.kernel, layer.kernel,
+                                         profile.weight, profile.method,
+                                         rng);
+        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
+                                          profile.grad, profile.method,
+                                          rng);
+        const ProblemSpec &bwd = specs.backward;
+        // Zero-dilate the gradient by the forward stride and center it
+        // in the backward image (the re-padding).
+        const std::uint32_t gh = layer.stride * (fwd.outH() - 1) + 1;
+        const std::uint32_t offset = (bwd.imageH() - gh) / 2;
+        return {bwd, CsrMatrix::fromDense(w).rotated180(),
+                CsrMatrix::fromDense(embedPlane(ga, bwd.imageH(),
+                                                bwd.imageW(), offset,
+                                                layer.stride))};
+      }
+      case TrainingPhase::Update: {
+        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
+                                          profile.grad, profile.method,
+                                          rng);
+        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
+                                         profile.method, rng);
+        return {specs.update, CsrMatrix::fromDense(ga),
+                CsrMatrix::fromDense(embedPlane(a, layer.paddedH(),
+                                                layer.paddedW(),
+                                                layer.pad))};
+      }
+    }
+    ANT_PANIC("unknown training phase");
+}
+
+std::uint64_t
+stackTaskCount(const ConvLayer &layer, TrainingPhase phase)
+{
+    return phase == TrainingPhase::Backward ? layer.outChannels
+                                            : layer.inChannels;
+}
+
+StackTask
+makeConvPhaseTask(const ConvLayer &layer, TrainingPhase phase,
+                  const SparsityProfile &profile, Rng &rng)
+{
+    const PhaseSpecs specs = layer.phaseSpecs();
+    const ProblemSpec &fwd = specs.forward;
+
+    switch (phase) {
+      case TrainingPhase::Forward: {
+        // Task per input channel c: image = A[c], kernels = W[k][c]
+        // for every output channel k.
+        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
+                                         profile.method, rng);
+        CsrMatrix image = CsrMatrix::fromDense(
+            embedPlane(a, layer.paddedH(), layer.paddedW(), layer.pad));
+        std::vector<CsrMatrix> kernels;
+        kernels.reserve(layer.outChannels);
+        for (std::uint32_t k = 0; k < layer.outChannels; ++k) {
+            kernels.push_back(CsrMatrix::fromDense(
+                generatePlane(layer.kernel, layer.kernel, profile.weight,
+                              profile.method, rng)));
+        }
+        return {fwd, std::move(kernels), std::move(image)};
+      }
+      case TrainingPhase::Backward: {
+        // Task per output channel k: image = dilated G_A[k], kernels =
+        // rotated W[k][c] for every input channel c.
+        const ProblemSpec &bwd = specs.backward;
+        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
+                                          profile.grad, profile.method,
+                                          rng);
+        const std::uint32_t gh = layer.stride * (fwd.outH() - 1) + 1;
+        const std::uint32_t offset = (bwd.imageH() - gh) / 2;
+        CsrMatrix image = CsrMatrix::fromDense(
+            embedPlane(ga, bwd.imageH(), bwd.imageW(), offset,
+                       layer.stride));
+        std::vector<CsrMatrix> kernels;
+        kernels.reserve(layer.inChannels);
+        for (std::uint32_t c = 0; c < layer.inChannels; ++c) {
+            kernels.push_back(
+                CsrMatrix::fromDense(
+                    generatePlane(layer.kernel, layer.kernel,
+                                  profile.weight, profile.method, rng))
+                    .rotated180());
+        }
+        return {bwd, std::move(kernels), std::move(image)};
+      }
+      case TrainingPhase::Update: {
+        // Task per input channel c: image = A[c], kernels = G_A[k] for
+        // every output channel k.
+        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
+                                         profile.method, rng);
+        CsrMatrix image = CsrMatrix::fromDense(
+            embedPlane(a, layer.paddedH(), layer.paddedW(), layer.pad));
+        std::vector<CsrMatrix> kernels;
+        kernels.reserve(layer.outChannels);
+        for (std::uint32_t k = 0; k < layer.outChannels; ++k) {
+            kernels.push_back(CsrMatrix::fromDense(
+                generatePlane(fwd.outH(), fwd.outW(), profile.grad,
+                              profile.method, rng)));
+        }
+        return {specs.update, std::move(kernels), std::move(image)};
+      }
+    }
+    ANT_PANIC("unknown training phase");
+}
+
+PlanePair
+makeMatmulPair(const MatmulLayer &layer, double sparsity,
+               SparsifyMethod method, Rng &rng)
+{
+    Dense2d<float> image = generatePlane(layer.imageH, layer.imageW,
+                                         sparsity, method, rng);
+    Dense2d<float> kernel = generatePlane(layer.kernelR, layer.kernelS,
+                                          sparsity, method, rng);
+    return {layer.spec(), CsrMatrix::fromDense(kernel),
+            CsrMatrix::fromDense(image)};
+}
+
+} // namespace antsim

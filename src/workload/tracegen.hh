@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Synthetic sparse-training trace generation (substitutes the paper's
+ * GPU-collected ReSprop/SWAT traces; see DESIGN.md).
+ *
+ * For a given layer, phase, and sparsity profile, produces the
+ * (kernel plane, image plane) CSR pair one PE task group would see:
+ *
+ *  - forward  W * A:   kernel = sparsified W[k][c] (R x S);
+ *                      image  = sparsified A[c] embedded in padding;
+ *  - backward R(W) * G_A: kernel = rotated sparsified W[k][c];
+ *                      image  = sparsified G_A[k] zero-dilated by the
+ *                      layer stride and re-padded;
+ *  - update   G_A * A: kernel = sparsified G_A[k] (used with kernel
+ *                      dilation = stride); image = padded A[c].
+ *
+ * Values are drawn i.i.d. standard normal; sparsity is imposed by
+ * Bernoulli masking (ReSprop/SWAT-style targets) or magnitude top-K
+ * (the paper's synthetic ResNet50/transformer/RNN path). Everything is
+ * keyed by a deterministic seed hierarchy so runs reproduce bit-for-bit.
+ */
+
+#ifndef ANTSIM_WORKLOAD_TRACEGEN_HH
+#define ANTSIM_WORKLOAD_TRACEGEN_HH
+
+#include <cstdint>
+
+#include "tensor/csr.hh"
+#include "util/rng.hh"
+#include "workload/layer.hh"
+
+namespace antsim {
+
+/** How a target sparsity is imposed on a plane. */
+enum class SparsifyMethod {
+    /** i.i.d. Bernoulli mask at the target rate. */
+    Bernoulli,
+    /** Keep the top (1 - sparsity) fraction by magnitude. */
+    TopK,
+};
+
+/** Target sparsities of the three training tensors. */
+struct SparsityProfile
+{
+    /** Weight sparsity (all phases). */
+    double weight = 0.0;
+    /** Activation sparsity. */
+    double act = 0.0;
+    /** Activation-gradient sparsity. */
+    double grad = 0.0;
+    /** Masking method. */
+    SparsifyMethod method = SparsifyMethod::Bernoulli;
+
+    /**
+     * SWAT-style: weights and activations sparsified to the target;
+     * the activation gradients inherit the activations' ReLU zero mask
+     * (Sec. 2.1), so they reach (at least) the same sparsity.
+     */
+    static SparsityProfile
+    swat(double target)
+    {
+        return {target, target, target, SparsifyMethod::Bernoulli};
+    }
+
+    /** ReSprop-style: sparse gradients, given activation sparsity. */
+    static SparsityProfile
+    resprop(double grad_sparsity, double act_sparsity)
+    {
+        return {0.0, act_sparsity, grad_sparsity,
+                SparsifyMethod::Bernoulli};
+    }
+
+    /** Synthetic top-K sparsification of all tensors (ResNet50 path). */
+    static SparsityProfile
+    topK(double target)
+    {
+        return {target, target, target, SparsifyMethod::TopK};
+    }
+
+    /** Fully dense tensors (Fig. 10's dense baseline). */
+    static SparsityProfile
+    dense()
+    {
+        return {0.0, 0.0, 0.0, SparsifyMethod::Bernoulli};
+    }
+};
+
+/** A generated (kernel, image) plane pair plus its geometry. */
+struct PlanePair
+{
+    ProblemSpec spec;
+    CsrMatrix kernel;
+    CsrMatrix image;
+};
+
+/**
+ * A channel-batched task: one stationary image plane with the kernel
+ * stack that streams against it (Sec. 2.3's input-stationary dataflow;
+ * see PeModel::runStack). For the forward and update phases the task
+ * is per input channel c and the stack spans the K output channels;
+ * for the backward phase the task is per output channel k and the
+ * stack spans the C input channels (rotated weights).
+ */
+struct StackTask
+{
+    ProblemSpec spec;
+    std::vector<CsrMatrix> kernels;
+    CsrMatrix image;
+
+    /** Borrowed pointer view for PeModel::runStack. */
+    std::vector<const CsrMatrix *>
+    kernelPtrs() const
+    {
+        std::vector<const CsrMatrix *> ptrs;
+        ptrs.reserve(kernels.size());
+        for (const auto &k : kernels)
+            ptrs.push_back(&k);
+        return ptrs;
+    }
+};
+
+/** Deterministic seed mixing for the trace hierarchy. */
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t c_value = 0);
+
+/** Generate one plane at the given dims/sparsity/method. */
+Dense2d<float> generatePlane(std::uint32_t height, std::uint32_t width,
+                             double sparsity, SparsifyMethod method,
+                             Rng &rng);
+
+/**
+ * Build the (kernel, image) pair for one sampled (k, c) plane pair of
+ * a conv layer in the given phase. @p rng provides all randomness.
+ */
+PlanePair makeConvPhasePair(const ConvLayer &layer, TrainingPhase phase,
+                            const SparsityProfile &profile, Rng &rng);
+
+/** Build the pair for one matmul layer at a uniform sparsity. */
+PlanePair makeMatmulPair(const MatmulLayer &layer, double sparsity,
+                         SparsifyMethod method, Rng &rng);
+
+/**
+ * Number of stacked tasks a layer expands to in a phase: inChannels
+ * for forward/update (task per image channel), outChannels for
+ * backward (task per gradient channel).
+ */
+std::uint64_t stackTaskCount(const ConvLayer &layer, TrainingPhase phase);
+
+/**
+ * Build one channel-batched task of a conv layer phase. @p rng drives
+ * all randomness (image plane plus the whole kernel stack).
+ */
+StackTask makeConvPhaseTask(const ConvLayer &layer, TrainingPhase phase,
+                            const SparsityProfile &profile, Rng &rng);
+
+/**
+ * Embed an unpadded plane into a larger plane with the given border
+ * offset (used for padding and, with @p dilation > 1, zero-dilation of
+ * the backward-phase gradient).
+ */
+Dense2d<float> embedPlane(const Dense2d<float> &inner,
+                          std::uint32_t out_height, std::uint32_t out_width,
+                          std::uint32_t offset, std::uint32_t dilation = 1);
+
+} // namespace antsim
+
+#endif // ANTSIM_WORKLOAD_TRACEGEN_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the output accumulator bank (validity authority + counting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/accumulator.hh"
+
+namespace antsim {
+namespace {
+
+TEST(Accumulator, ValidProductAccumulates)
+{
+    const auto spec = ProblemSpec::conv(2, 2, 4, 4);
+    Accumulator acc(spec);
+    CounterSet c;
+    // image (1,1) with kernel (0,0) -> out (1,1).
+    EXPECT_TRUE(acc.offer(2.0f, 1, 1, 3.0f, 0, 0, c));
+    EXPECT_DOUBLE_EQ(acc.output().at(1, 1), 6.0);
+    EXPECT_EQ(c.get(Counter::MultsValid), 1u);
+    EXPECT_EQ(c.get(Counter::AccumAdds), 1u);
+    EXPECT_EQ(c.get(Counter::OutputIndexCalcs), 1u);
+    EXPECT_EQ(c.get(Counter::SramWrites), 1u);
+    EXPECT_EQ(c.get(Counter::MultsRcp), 0u);
+}
+
+TEST(Accumulator, RcpIsDroppedAndCounted)
+{
+    const auto spec = ProblemSpec::conv(2, 2, 4, 4);
+    Accumulator acc(spec);
+    CounterSet c;
+    // image (0,0) with kernel (1,1) -> negative out index -> RCP.
+    EXPECT_FALSE(acc.offer(2.0f, 0, 0, 3.0f, 1, 1, c));
+    EXPECT_EQ(c.get(Counter::MultsRcp), 1u);
+    EXPECT_EQ(c.get(Counter::MultsValid), 0u);
+    EXPECT_EQ(c.get(Counter::AccumAdds), 0u);
+    // Output untouched.
+    for (const double v : acc.output().data())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Accumulator, RepeatedOffersSum)
+{
+    const auto spec = ProblemSpec::conv(1, 1, 2, 2);
+    Accumulator acc(spec);
+    CounterSet c;
+    acc.offer(1.0f, 0, 0, 2.0f, 0, 0, c);
+    acc.offer(3.0f, 0, 0, 4.0f, 0, 0, c);
+    EXPECT_DOUBLE_EQ(acc.output().at(0, 0), 14.0);
+}
+
+TEST(Accumulator, MatmulRouting)
+{
+    const auto spec = ProblemSpec::matmul(3, 4, 4, 2);
+    Accumulator acc(spec);
+    CounterSet c;
+    // r == x -> valid, routed to (s, y).
+    EXPECT_TRUE(acc.offer(2.0f, 3, 1, 5.0f, 1, 3, c));
+    EXPECT_DOUBLE_EQ(acc.output().at(1, 1), 10.0);
+    // r != x -> RCP.
+    EXPECT_FALSE(acc.offer(2.0f, 3, 1, 5.0f, 1, 2, c));
+}
+
+TEST(Accumulator, OutputShapeFollowsSpec)
+{
+    const auto spec = ProblemSpec::convWithOutDims(3, 3, 10, 10, 2, 2);
+    Accumulator acc(spec);
+    EXPECT_EQ(acc.output().height(), 2u);
+    EXPECT_EQ(acc.output().width(), 2u);
+    CounterSet c;
+    // Product mapping to out (5,5) of the natural 8x8 grid is an RCP
+    // under the 2x2 override.
+    EXPECT_FALSE(acc.offer(1.0f, 5, 5, 1.0f, 0, 0, c));
+}
+
+} // namespace
+} // namespace antsim

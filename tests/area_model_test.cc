@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the FNIR area/delay model (Sec. 7.5-7.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ant/area_model.hh"
+
+namespace antsim {
+namespace {
+
+TEST(AreaModel, DefaultConfigMatchesPaperArea)
+{
+    const auto est = estimateFnirArea(4, 16);
+    EXPECT_NEAR(est.areaMm2, 0.0017, 1e-6);
+}
+
+TEST(AreaModel, DefaultConfigFractionOfMultiplierArray)
+{
+    // Paper: FNIR is 21.25% of the 4x4 multiplier array's area. Our
+    // gate-level ratio should land in the same regime (tens of
+    // percent, not 2% or 200%).
+    const auto est = estimateFnirArea(4, 16);
+    EXPECT_GT(est.fractionOfMultiplierArray, 0.05);
+    EXPECT_LT(est.fractionOfMultiplierArray, 0.60);
+}
+
+TEST(AreaModel, AreaGrowsWithK)
+{
+    double prev = 0.0;
+    for (std::uint32_t k : {4u, 8u, 16u, 32u}) {
+        const auto est = estimateFnirArea(4, k);
+        EXPECT_GT(est.areaMm2, prev);
+        prev = est.areaMm2;
+    }
+}
+
+TEST(AreaModel, AreaGrowsWithN)
+{
+    double prev = 0.0;
+    for (std::uint32_t n : {2u, 4u, 6u, 8u}) {
+        const auto est = estimateFnirArea(n, 16);
+        EXPECT_GT(est.areaMm2, prev);
+        prev = est.areaMm2;
+    }
+}
+
+TEST(AreaModel, CriticalPathGrowsWithN)
+{
+    // Sec. 7.6: the serial Arbiter Select depth grows with n, which is
+    // why scaling up the PE eventually loses to more PEs.
+    std::uint32_t prev = 0;
+    for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+        const auto est = estimateFnirArea(n, 16);
+        EXPECT_GT(est.criticalPathGates, prev);
+        prev = est.criticalPathGates;
+    }
+}
+
+TEST(AreaModel, AreaRemainsTinyAcrossSweep)
+{
+    // Even at the largest swept configuration the FNIR stays well
+    // under a hundredth of a mm^2 -- the paper's "negligible area"
+    // claim.
+    const auto est = estimateFnirArea(8, 32);
+    EXPECT_LT(est.areaMm2, 0.01);
+}
+
+TEST(AreaModelDeathTest, RejectsZeroDims)
+{
+    EXPECT_DEATH(estimateFnirArea(0, 16), "positive");
+}
+
+} // namespace
+} // namespace antsim

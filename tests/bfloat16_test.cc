@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the Bfloat16 storage type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/bfloat16.hh"
+
+namespace antsim {
+namespace {
+
+TEST(Bfloat16, DefaultIsZero)
+{
+    Bfloat16 b;
+    EXPECT_EQ(b.bits(), 0u);
+    EXPECT_EQ(b.toFloat(), 0.0f);
+}
+
+TEST(Bfloat16, ExactValuesRoundTrip)
+{
+    // Values with <= 8 significand bits are exact in bf16.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 256.0f, 0.125f}) {
+        EXPECT_EQ(Bfloat16(v).toFloat(), v) << v;
+    }
+}
+
+TEST(Bfloat16, RoundToNearestEven)
+{
+    // bf16 has a 7-bit stored mantissa, so the ULP at 1.0 is 2^-7 and
+    // 1 + 2^-8 is exactly halfway to the next representable value;
+    // ties go to even (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(Bfloat16(halfway).toFloat(), 1.0f);
+    // Slightly above the halfway point rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -8) + std::ldexp(1.0f, -15);
+    EXPECT_EQ(Bfloat16(above).toFloat(), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bfloat16, RelativeErrorBounded)
+{
+    // Round-to-nearest gives relative error <= 2^-9 for normal values.
+    for (float v : {3.14159f, 1234.567f, -0.0078125f, 9.9e20f}) {
+        const float r = bf16Round(v);
+        EXPECT_LE(std::fabs(r - v), std::fabs(v) * std::ldexp(1.0f, -8))
+            << v;
+    }
+}
+
+TEST(Bfloat16, InfinityPreserved)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(Bfloat16(inf).toFloat(), inf);
+    EXPECT_EQ(Bfloat16(-inf).toFloat(), -inf);
+}
+
+TEST(Bfloat16, NanStaysNan)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(Bfloat16(nan).toFloat()));
+}
+
+TEST(Bfloat16, LargeValueDoesNotWrapToInfinityUnlessOverflow)
+{
+    // Max bf16-representable is about 3.39e38.
+    EXPECT_TRUE(std::isfinite(Bfloat16(3.0e38f).toFloat()));
+}
+
+TEST(Bfloat16, BitsRoundTrip)
+{
+    const Bfloat16 b = Bfloat16::fromBits(0x3f80); // 1.0
+    EXPECT_EQ(b.toFloat(), 1.0f);
+    EXPECT_EQ(Bfloat16(1.0f).bits(), 0x3f80);
+}
+
+TEST(Bfloat16, EqualityIsBitwise)
+{
+    EXPECT_EQ(Bfloat16(2.0f), Bfloat16(2.0f));
+    EXPECT_NE(Bfloat16(2.0f), Bfloat16(3.0f));
+}
+
+TEST(Bfloat16, ImplicitWideningInArithmetic)
+{
+    const Bfloat16 a(1.5f);
+    const Bfloat16 b(2.0f);
+    EXPECT_EQ(a * b, 3.0f);
+}
+
+} // namespace
+} // namespace antsim

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for CSR/CSC compression, rotation (Algorithm 3), and the
+ * structural invariants of Sec. 4.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/csr.hh"
+#include "tensor/sparsify.hh"
+#include "util/rng.hh"
+
+namespace antsim {
+namespace {
+
+Dense2d<float>
+samplePlane()
+{
+    // 3x4 plane:  . 2 . 0? -> zeros dropped
+    Dense2d<float> d(3, 4);
+    d.at(1, 0) = 2.0f;
+    d.at(3, 0) = -1.0f;
+    d.at(0, 1) = 5.0f;
+    d.at(2, 2) = 7.0f;
+    d.at(3, 2) = 4.0f;
+    return d;
+}
+
+TEST(Csr, FromDenseRoundTrip)
+{
+    const Dense2d<float> d = samplePlane();
+    const CsrMatrix csr = CsrMatrix::fromDense(d);
+    EXPECT_EQ(csr.nnz(), 5u);
+    EXPECT_EQ(csr.toDense(), d);
+    csr.validate();
+}
+
+TEST(Csr, ArraysMatchSection41Layout)
+{
+    const CsrMatrix csr = CsrMatrix::fromDense(samplePlane());
+    // Values in row-major order.
+    const std::vector<float> want_values = {2.0f, -1.0f, 5.0f, 7.0f, 4.0f};
+    EXPECT_EQ(csr.values(), want_values);
+    const std::vector<std::uint32_t> want_cols = {1, 3, 0, 2, 3};
+    EXPECT_EQ(csr.columns(), want_cols);
+    const std::vector<std::uint32_t> want_rowptr = {0, 2, 3, 5};
+    EXPECT_EQ(csr.rowPtr(), want_rowptr);
+}
+
+TEST(Csr, EmptyMatrix)
+{
+    const CsrMatrix csr(4, 4);
+    EXPECT_EQ(csr.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(csr.sparsity(), 1.0);
+    EXPECT_EQ(csr.rowPtr().size(), 5u);
+    csr.validate();
+}
+
+TEST(Csr, FullyDenseMatrix)
+{
+    Dense2d<float> d(2, 2, 1.0f);
+    const CsrMatrix csr = CsrMatrix::fromDense(d);
+    EXPECT_EQ(csr.nnz(), 4u);
+    EXPECT_DOUBLE_EQ(csr.sparsity(), 0.0);
+}
+
+TEST(Csr, EntryLookup)
+{
+    const CsrMatrix csr = CsrMatrix::fromDense(samplePlane());
+    const SparseEntry e = csr.entry(3);
+    EXPECT_EQ(e.value, 7.0f);
+    EXPECT_EQ(e.x, 2u);
+    EXPECT_EQ(e.y, 2u);
+    EXPECT_EQ(csr.rowOfPosition(0), 0u);
+    EXPECT_EQ(csr.rowOfPosition(2), 1u);
+    EXPECT_EQ(csr.rowOfPosition(4), 2u);
+}
+
+TEST(Csr, EntriesEnumerateInStorageOrder)
+{
+    const CsrMatrix csr = CsrMatrix::fromDense(samplePlane());
+    const auto entries = csr.entries();
+    ASSERT_EQ(entries.size(), 5u);
+    // y must be non-decreasing (row-major).
+    for (std::size_t i = 1; i < entries.size(); ++i)
+        EXPECT_LE(entries[i - 1].y, entries[i].y);
+}
+
+TEST(Csr, FromCooSortsAndSumsDuplicates)
+{
+    std::vector<SparseEntry> coo = {
+        {1.0f, 2, 1}, {3.0f, 0, 0}, {2.0f, 2, 1}, {4.0f, 1, 2}};
+    const CsrMatrix csr = CsrMatrix::fromCoo(3, 3, coo);
+    csr.validate();
+    EXPECT_EQ(csr.nnz(), 3u);
+    const Dense2d<float> d = csr.toDense();
+    EXPECT_EQ(d.at(2, 1), 3.0f); // 1 + 2 summed
+    EXPECT_EQ(d.at(0, 0), 3.0f);
+    EXPECT_EQ(d.at(1, 2), 4.0f);
+}
+
+TEST(Csr, FromRawValidates)
+{
+    const CsrMatrix csr = CsrMatrix::fromRaw(2, 3, {1.0f, 2.0f}, {0, 2},
+                                             {0, 1, 2});
+    EXPECT_EQ(csr.nnz(), 2u);
+}
+
+TEST(CsrDeathTest, FromRawRejectsBadRowPtr)
+{
+    EXPECT_DEATH(CsrMatrix::fromRaw(2, 3, {1.0f}, {0}, {0, 2, 1}),
+                 "rowPtr");
+}
+
+TEST(CsrDeathTest, FromRawRejectsUnsortedColumns)
+{
+    EXPECT_DEATH(CsrMatrix::fromRaw(1, 4, {1.0f, 2.0f}, {2, 1}, {0, 2}),
+                 "strictly increasing");
+}
+
+TEST(CsrDeathTest, FromRawRejectsWideColumn)
+{
+    EXPECT_DEATH(CsrMatrix::fromRaw(1, 2, {1.0f}, {2}, {0, 1}),
+                 "out of width");
+}
+
+TEST(Csr, Rotation180MatchesAlgorithm3OnDense)
+{
+    const Dense2d<float> d = samplePlane();
+    const CsrMatrix rotated = CsrMatrix::fromDense(d).rotated180();
+    rotated.validate();
+    const Dense2d<float> rd = rotated.toDense();
+    for (std::uint32_t y = 0; y < d.height(); ++y)
+        for (std::uint32_t x = 0; x < d.width(); ++x)
+            EXPECT_EQ(rd.at(d.width() - 1 - x, d.height() - 1 - y),
+                      d.at(x, y));
+}
+
+TEST(Csr, RotationIsInvolution)
+{
+    Rng rng(99);
+    const Dense2d<float> plane = bernoulliPlane(7, 5, 0.6, rng);
+    const CsrMatrix csr = CsrMatrix::fromDense(plane);
+    EXPECT_EQ(csr.rotated180().rotated180(), csr);
+}
+
+TEST(Csr, RotationPreservesValueMultiset)
+{
+    Rng rng(7);
+    const CsrMatrix csr =
+        CsrMatrix::fromDense(bernoulliPlane(6, 6, 0.5, rng));
+    auto a = csr.values();
+    auto b = csr.rotated180().values();
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Csr, TransposeMatchesDense)
+{
+    const Dense2d<float> d = samplePlane();
+    const CsrMatrix t = CsrMatrix::fromDense(d).transposed();
+    t.validate();
+    EXPECT_EQ(t.height(), d.width());
+    EXPECT_EQ(t.width(), d.height());
+    const Dense2d<float> td = t.toDense();
+    for (std::uint32_t y = 0; y < d.height(); ++y)
+        for (std::uint32_t x = 0; x < d.width(); ++x)
+            EXPECT_EQ(td.at(y, x), d.at(x, y));
+}
+
+TEST(Csc, FromDenseMatchesCsrView)
+{
+    const Dense2d<float> d = samplePlane();
+    const CscMatrix csc = CscMatrix::fromDense(d);
+    EXPECT_EQ(csc.nnz(), 5u);
+    EXPECT_EQ(csc.toDense(), d);
+}
+
+TEST(Csc, FromCsrEquivalent)
+{
+    Rng rng(5);
+    const Dense2d<float> d = bernoulliPlane(8, 9, 0.7, rng);
+    const CscMatrix a = CscMatrix::fromDense(d);
+    const CscMatrix b = CscMatrix::fromCsr(CsrMatrix::fromDense(d));
+    EXPECT_EQ(a.values(), b.values());
+    EXPECT_EQ(a.rows(), b.rows());
+    EXPECT_EQ(a.colPtr(), b.colPtr());
+}
+
+TEST(Csc, EntriesAreColumnMajor)
+{
+    const CscMatrix csc = CscMatrix::fromDense(samplePlane());
+    std::uint32_t prev_col = 0;
+    for (std::uint32_t i = 0; i < csc.nnz(); ++i) {
+        const SparseEntry e = csc.entry(i);
+        EXPECT_GE(e.x, prev_col);
+        prev_col = e.x;
+    }
+}
+
+TEST(Csc, ColOfPosition)
+{
+    const CscMatrix csc = CscMatrix::fromDense(samplePlane());
+    // Dense columns: col0 {5}, col1 {2}, col2 {7}, col3 {-1, 4}.
+    EXPECT_EQ(csc.colOfPosition(0), 0u);
+    EXPECT_EQ(csc.colOfPosition(1), 1u);
+    EXPECT_EQ(csc.colOfPosition(2), 2u);
+    EXPECT_EQ(csc.colOfPosition(3), 3u);
+    EXPECT_EQ(csc.colOfPosition(4), 3u);
+}
+
+} // namespace
+} // namespace antsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the operation-counter energy model (Sec. 6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+
+namespace antsim {
+namespace {
+
+TEST(Energy, ZeroCountersZeroEnergy)
+{
+    const EnergyModel model;
+    CounterSet c;
+    EXPECT_DOUBLE_EQ(model.totalPj(c), 0.0);
+}
+
+TEST(Energy, MultiplyAttribution)
+{
+    const EnergyModel model;
+    CounterSet c;
+    c.add(Counter::MultsExecuted, 100);
+    const EnergyBreakdown b = model.evaluate(c);
+    EXPECT_DOUBLE_EQ(b.multiplyPj, 100 * model.params().multBf16Pj);
+    EXPECT_DOUBLE_EQ(b.accumulatePj, 0.0);
+    EXPECT_DOUBLE_EQ(b.totalPj(), b.multiplyPj);
+}
+
+TEST(Energy, AccumulateAttribution)
+{
+    const EnergyModel model;
+    CounterSet c;
+    c.add(Counter::AccumAdds, 10);
+    EXPECT_DOUBLE_EQ(model.evaluate(c).accumulatePj,
+                     10 * model.params().addBf16Pj);
+}
+
+TEST(Energy, IndexLogicCoversComparesAndOutputCalcs)
+{
+    const EnergyModel model;
+    CounterSet c;
+    c.add(Counter::IndexCompares, 4);
+    c.add(Counter::OutputIndexCalcs, 3);
+    EXPECT_DOUBLE_EQ(model.evaluate(c).indexLogicPj,
+                     (4 + 2 * 3) * model.params().addInt32Pj);
+}
+
+TEST(Energy, SramAttribution)
+{
+    const EnergyModel model;
+    CounterSet c;
+    c.add(Counter::SramValueReads, 2);
+    c.add(Counter::SramIndexReads, 3);
+    c.add(Counter::SramRowPtrReads, 5);
+    c.add(Counter::SramWrites, 7);
+    const double want = (2 + 3) * model.params().sramRead64Pj +
+        5 * model.params().sramRowPtrPj + 7 * model.params().accumWritePj;
+    EXPECT_DOUBLE_EQ(model.evaluate(c).sramPj, want);
+}
+
+TEST(Energy, MonotoneInEveryCounter)
+{
+    const EnergyModel model;
+    CounterSet base;
+    base.add(Counter::MultsExecuted, 10);
+    const double base_pj = model.totalPj(base);
+    for (Counter counter : {Counter::MultsExecuted, Counter::AccumAdds,
+                            Counter::IndexCompares,
+                            Counter::SramValueReads, Counter::SramWrites}) {
+        CounterSet more = base;
+        more.add(counter, 5);
+        EXPECT_GE(model.totalPj(more), base_pj)
+            << counterName(counter);
+    }
+}
+
+TEST(Energy, CyclesDoNotCostEnergyDirectly)
+{
+    // Energy comes from operations, not from idle cycles (the paper's
+    // methodology, Sec. 6.3).
+    const EnergyModel model;
+    CounterSet c;
+    c.add(Counter::Cycles, 1000000);
+    c.add(Counter::IdleScanCycles, 500);
+    EXPECT_DOUBLE_EQ(model.totalPj(c), 0.0);
+}
+
+TEST(Energy, SramDominatesComputeForEqualCounts)
+{
+    // Sanity on relative magnitudes: an SRAM access costs more than a
+    // multiply, which costs more than an integer add.
+    const EnergyParams p;
+    EXPECT_GT(p.sramRead64Pj, p.multBf16Pj);
+    EXPECT_GT(p.multBf16Pj, p.addInt32Pj);
+}
+
+TEST(Energy, BreakdownToStringMentionsTotal)
+{
+    EnergyBreakdown b;
+    b.multiplyPj = 1e6;
+    EXPECT_NE(b.toString().find("energy total"), std::string::npos);
+}
+
+TEST(Energy, CustomParams)
+{
+    EnergyParams params;
+    params.multBf16Pj = 1.0;
+    const EnergyModel model(params);
+    CounterSet c;
+    c.add(Counter::MultsExecuted, 7);
+    EXPECT_DOUBLE_EQ(model.totalPj(c), 7.0);
+}
+
+} // namespace
+} // namespace antsim

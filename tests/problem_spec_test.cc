@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the ProblemSpec index algebra (Sec. 3 Eqs. 4-12, Sec. 5
+ * Eqs. 13-15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "conv/problem_spec.hh"
+
+namespace antsim {
+namespace {
+
+TEST(ProblemSpec, ConvOutputDims)
+{
+    const auto s = ProblemSpec::conv(2, 2, 3, 3);
+    EXPECT_EQ(s.outH(), 2u);
+    EXPECT_EQ(s.outW(), 2u);
+    const auto s2 = ProblemSpec::conv(3, 3, 114, 114);
+    EXPECT_EQ(s2.outH(), 112u);
+    const auto s3 = ProblemSpec::conv(7, 7, 230, 230, 2);
+    EXPECT_EQ(s3.outH(), 112u);
+    const auto s4 = ProblemSpec::conv(3, 3, 30, 30, 2);
+    EXPECT_EQ(s4.outH(), 14u);
+}
+
+TEST(ProblemSpec, DilatedConvOutputDims)
+{
+    // Effective kernel extent = dil*(k-1)+1.
+    const auto s = ProblemSpec::conv(14, 14, 30, 30, 1, 2);
+    EXPECT_EQ(s.outH(), 4u);
+}
+
+TEST(ProblemSpec, OutDimsOverride)
+{
+    const auto s = ProblemSpec::convWithOutDims(14, 14, 30, 30, 3, 3, 1, 2);
+    EXPECT_EQ(s.outH(), 3u);
+    EXPECT_EQ(s.outW(), 3u);
+}
+
+TEST(ProblemSpecDeathTest, OverrideCannotExceedNatural)
+{
+    EXPECT_DEATH(ProblemSpec::convWithOutDims(3, 3, 8, 8, 7, 7), "exceeds");
+}
+
+TEST(ProblemSpecDeathTest, KernelLargerThanImage)
+{
+    EXPECT_DEATH(ProblemSpec::conv(5, 5, 4, 4), "exceeds image");
+}
+
+TEST(ProblemSpec, Figure2aProductValidity)
+{
+    // The 2x2 kernel over 3x3 image example of Fig. 2a/2d.
+    const auto s = ProblemSpec::conv(2, 2, 3, 3);
+    // Kernel element (s=1, r=1) with image element (x=0, y=0): shift
+    // would be negative -> RCP (case a/b of Fig. 4).
+    EXPECT_FALSE(s.isValid(0, 0, 1, 1));
+    // Kernel (0,0) with image (2,2): out index (2,2) exceeds 2x2 -> RCP.
+    EXPECT_FALSE(s.isValid(2, 2, 0, 0));
+    // Kernel (1,1) with image (2,2): out (1,1) valid.
+    const auto out = s.outputIndex(2, 2, 1, 1);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->x, 1u);
+    EXPECT_EQ(out->y, 1u);
+}
+
+TEST(ProblemSpec, OutputIndexMatchesEquations4And5)
+{
+    const auto s = ProblemSpec::conv(3, 3, 10, 10, 1);
+    // out = (img - ker) / stride.
+    const auto out = s.outputIndex(5, 7, 2, 1);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->x, 3u);
+    EXPECT_EQ(out->y, 6u);
+}
+
+TEST(ProblemSpec, StrideDivisibilityMakesRcp)
+{
+    const auto s = ProblemSpec::conv(3, 3, 11, 11, 2);
+    // (x=1, s=0) -> dx = 1, odd under stride 2 -> no output index.
+    EXPECT_FALSE(s.outputIndex(1, 0, 0, 0).has_value());
+    // (x=2, s=0) -> out 1, valid (y=0, r=0 -> out row 0).
+    EXPECT_TRUE(s.outputIndex(2, 0, 0, 0).has_value());
+}
+
+TEST(ProblemSpec, SRangeMatchesEq11AtStride1)
+{
+    const auto s = ProblemSpec::conv(5, 5, 12, 12);
+    // Eq. 11: s_min = x_min - W_out + 1, s_max = x_max, clamped.
+    const IndexRange r = s.sRange(9, 11);
+    EXPECT_EQ(r.lo, 9 - 8 + 1);
+    EXPECT_EQ(r.hi, 4); // clamped to S-1
+}
+
+TEST(ProblemSpec, SRangeClampsToZero)
+{
+    const auto s = ProblemSpec::conv(5, 5, 12, 12);
+    const IndexRange r = s.sRange(0, 3);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 3);
+}
+
+TEST(ProblemSpec, RRangeMatchesEq12AtStride1)
+{
+    const auto s = ProblemSpec::conv(4, 4, 10, 10);
+    const IndexRange r = s.rRange(8, 9);
+    // r_min = y_0 - H_out + 1 = 8 - 7 + 1 = 2; r_max = min(9, 3) = 3.
+    EXPECT_EQ(r.lo, 2);
+    EXPECT_EQ(r.hi, 3);
+}
+
+TEST(ProblemSpec, RangeSoundness)
+{
+    // Property: every valid product's s lies in sRange of its x (and
+    // r in rRange of its y) -- the ranges are necessary conditions.
+    for (std::uint32_t stride : {1u, 2u}) {
+        for (std::uint32_t dil : {1u, 2u}) {
+            const auto s = ProblemSpec::conv(4, 4, 16, 16, stride, dil);
+            for (std::uint32_t x = 0; x < 16; ++x) {
+                for (std::uint32_t y = 0; y < 16; ++y) {
+                    for (std::uint32_t ks = 0; ks < 4; ++ks) {
+                        for (std::uint32_t kr = 0; kr < 4; ++kr) {
+                            if (!s.isValid(x, y, ks, kr))
+                                continue;
+                            EXPECT_TRUE(s.sRangeIdeal(x).contains(ks));
+                            EXPECT_TRUE(s.rRangeIdeal(y).contains(kr));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ProblemSpec, IdealRangeTightAtStride1)
+{
+    // At stride = dilation = 1 the per-element range test is also
+    // sufficient: everything in range is a valid product (this is why
+    // Algorithm 1 eliminates all RCPs).
+    const auto s = ProblemSpec::conv(3, 3, 9, 9);
+    for (std::uint32_t x = 0; x < 9; ++x) {
+        for (std::uint32_t y = 0; y < 9; ++y) {
+            for (std::uint32_t ks = 0; ks < 3; ++ks) {
+                for (std::uint32_t kr = 0; kr < 3; ++kr) {
+                    const bool in_range =
+                        s.sRangeIdeal(x).contains(ks) &&
+                        s.rRangeIdeal(y).contains(kr);
+                    EXPECT_EQ(in_range, s.isValid(x, y, ks, kr));
+                }
+            }
+        }
+    }
+}
+
+TEST(ProblemSpec, Efficiency96Point52)
+{
+    const auto s = ProblemSpec::conv(3, 3, 114, 114);
+    EXPECT_NEAR(s.outerProductEfficiency(), 0.9652, 1e-4);
+}
+
+TEST(ProblemSpec, DenseProductCounts)
+{
+    const auto s = ProblemSpec::conv(2, 2, 3, 3);
+    EXPECT_EQ(s.denseCartesianProducts(), 4ull * 9);
+    EXPECT_EQ(s.denseValidProducts(), 4ull * 4);
+}
+
+TEST(ProblemSpec, MatmulDims)
+{
+    const auto s = ProblemSpec::matmul(512, 72, 72, 512);
+    EXPECT_EQ(s.outH(), 512u);
+    EXPECT_EQ(s.outW(), 512u);
+    EXPECT_NEAR(s.outerProductEfficiency(), 1.0 / 72.0, 1e-9);
+}
+
+TEST(ProblemSpecDeathTest, MatmulInnerDimsMustAgree)
+{
+    EXPECT_DEATH(ProblemSpec::matmul(4, 5, 6, 7), "inner dims");
+}
+
+TEST(ProblemSpec, MatmulValidityIsEq14)
+{
+    const auto s = ProblemSpec::matmul(4, 5, 5, 6);
+    EXPECT_TRUE(s.isValid(3, 2, 4, 3));  // r == x
+    EXPECT_FALSE(s.isValid(3, 2, 4, 2)); // r != x
+    const auto out = s.outputIndex(3, 2, 4, 3);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->x, 4u); // out_x = s
+    EXPECT_EQ(out->y, 2u); // out_y = y
+}
+
+TEST(ProblemSpec, MatmulRowRangeIsEq15)
+{
+    const auto s = ProblemSpec::matmul(4, 9, 9, 3);
+    const IndexRange r = s.matmulRowRange(2, 7);
+    EXPECT_EQ(r.lo, 2);
+    EXPECT_EQ(r.hi, 7);
+}
+
+TEST(ProblemSpec, MatmulSRangeIsUnconstrained)
+{
+    const auto s = ProblemSpec::matmul(4, 9, 9, 3);
+    const IndexRange r = s.sRange(0, 8);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 2);
+}
+
+TEST(IndexRange, Basics)
+{
+    const IndexRange r{2, 5};
+    EXPECT_FALSE(r.empty());
+    EXPECT_EQ(r.count(), 4);
+    EXPECT_TRUE(r.contains(2));
+    EXPECT_TRUE(r.contains(5));
+    EXPECT_FALSE(r.contains(6));
+    const IndexRange e{3, 1};
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.count(), 0);
+}
+
+TEST(ProblemSpec, ToStringMentionsShape)
+{
+    const auto s = ProblemSpec::conv(3, 3, 8, 8);
+    EXPECT_NE(s.toString().find("3x3"), std::string::npos);
+    const auto m = ProblemSpec::matmul(4, 5, 5, 6);
+    EXPECT_NE(m.toString().find("matmul"), std::string::npos);
+}
+
+} // namespace
+} // namespace antsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the analytic RCP model: Table 2 / Table 3 efficiencies and
+ * the training-phase shape relations (Fig. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "conv/rcp_model.hh"
+
+namespace antsim {
+namespace {
+
+TEST(RcpModel, Table2RowCount)
+{
+    EXPECT_EQ(table2Rows().size(), 8u);
+}
+
+TEST(RcpModel, Table2MatchesPaperNumbers)
+{
+    const auto rows = table2Rows();
+    // Paper prints: 96.52, 0.07, 23.71, 0.09, 100.00, 0.03, 76.58(*),
+    // 3.53(*). (*) the last pair prints as 76.56/3.52 under exact
+    // arithmetic (196/256, 9/256); the paper's figures appear to carry
+    // a rounding artifact. We assert the exact values.
+    EXPECT_NEAR(rows[0].efficiency, 0.9652, 5e-5);
+    EXPECT_NEAR(rows[1].efficiency, 0.0007, 5e-5);
+    EXPECT_NEAR(rows[2].efficiency, 0.2371, 5e-5);
+    EXPECT_NEAR(rows[3].efficiency, 0.0009, 5e-5);
+    EXPECT_NEAR(rows[4].efficiency, 1.0000, 1e-9);
+    EXPECT_NEAR(rows[5].efficiency, 0.0003, 5e-5);
+    EXPECT_NEAR(rows[6].efficiency, 0.765625, 1e-9);
+    EXPECT_NEAR(rows[7].efficiency, 9.0 / 256.0, 1e-9);
+}
+
+TEST(RcpModel, Table2ShapesMatchPaper)
+{
+    const auto rows = table2Rows();
+    // Row 0: forward 3x3 over 114x114 -> 112x112.
+    EXPECT_EQ(rows[0].spec.kernelH(), 3u);
+    EXPECT_EQ(rows[0].spec.outH(), 112u);
+    // Row 1: update 112x112 over 114x114 -> 3x3.
+    EXPECT_EQ(rows[1].spec.kernelH(), 112u);
+    EXPECT_EQ(rows[1].spec.outH(), 3u);
+    // Row 3: strided update has dilation = 2 and cropped 7x7 output.
+    EXPECT_EQ(rows[3].spec.dilation(), 2u);
+    EXPECT_EQ(rows[3].spec.outH(), 7u);
+    // Row 4: 1x1 conv is 100% efficient.
+    EXPECT_EQ(rows[4].spec.kernelH(), 1u);
+    EXPECT_EQ(rows[4].spec.outH(), 56u);
+}
+
+TEST(RcpModel, Table3MatchesPaperNumbers)
+{
+    const auto rows = table3Rows();
+    ASSERT_EQ(rows.size(), 11u);
+    const double want[] = {1.0 / 72, 1.0 / 512, 0.10, 0.10, 1.0 / 64,
+                           1.0 / 3,  1.0 / 3,   1.0 / 300, 0.125, 0.125,
+                           1.0 / 300};
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_NEAR(rows[i].efficiency, want[i], 1e-9) << "row " << i;
+}
+
+TEST(RcpModel, PhaseSpecsForwardBackwardShapesAgree)
+{
+    // Fig. 5: G_A^{L+1} has the dims of A^{L+1}; for same-padding
+    // stride-1 convs the backward image matches the forward image.
+    const PhaseSpecs specs = trainingPhaseSpecs(3, 3, 114, 114, 1);
+    EXPECT_EQ(specs.forward.outH(), 112u);
+    EXPECT_EQ(specs.backward.imageH(), 114u);
+    EXPECT_EQ(specs.backward.outH(), 112u);
+    EXPECT_EQ(specs.update.kernelH(), 112u);
+    EXPECT_EQ(specs.update.outH(), 3u);
+}
+
+TEST(RcpModel, PhaseSpecsStridedLayer)
+{
+    // 3x3 stride-2 pad-1 layer at 28x28 input (padded 30x30).
+    const PhaseSpecs specs = trainingPhaseSpecs(3, 3, 30, 30, 2);
+    EXPECT_EQ(specs.forward.outH(), 14u);
+    // Backward: dilated gradient spans 2*13+1 = 27, re-padded to 29,
+    // clipped at the forward image 30 -> output 28 = the layer input.
+    EXPECT_EQ(specs.backward.outH(), 28u);
+    // Update: gradient kernel dilated by the stride, output 3x3.
+    EXPECT_EQ(specs.update.dilation(), 2u);
+    EXPECT_EQ(specs.update.outH(), 3u);
+}
+
+TEST(RcpModel, UpdateEfficiencyCollapsesVsForward)
+{
+    // The central claim of Sec. 3.1: the update phase's outer-product
+    // efficiency is orders of magnitude below the forward phase's.
+    const PhaseSpecs specs = trainingPhaseSpecs(3, 3, 114, 114, 1);
+    EXPECT_GT(specs.forward.outerProductEfficiency(), 0.9);
+    EXPECT_LT(specs.update.outerProductEfficiency(), 0.001);
+    EXPECT_GT(specs.forward.outerProductEfficiency() /
+                  specs.update.outerProductEfficiency(),
+              1000.0);
+}
+
+TEST(RcpModel, OneByOneConvPhases)
+{
+    const PhaseSpecs specs = trainingPhaseSpecs(1, 1, 56, 56, 1);
+    EXPECT_DOUBLE_EQ(specs.forward.outerProductEfficiency(), 1.0);
+    EXPECT_EQ(specs.update.outH(), 1u);
+    EXPECT_EQ(specs.backward.imageH(), 56u);
+}
+
+} // namespace
+} // namespace antsim

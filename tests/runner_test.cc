@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the experiment runner (sampling, aggregation, ratios).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ant/ant_pe.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace {
+
+// Large enough that the update phase dominates -- miniature layers sit
+// in the paper's own small-layer-slowdown regime (Sec. 7.6).
+std::vector<ConvLayer>
+tinyNetwork()
+{
+    return {
+        {"l0", 2, 16, 24, 24, 3, 1, 1},
+        {"l1", 16, 16, 24, 24, 3, 2, 1},
+        {"l2", 16, 8, 12, 12, 1, 1, 0},
+    };
+}
+
+RunConfig
+tinyConfig()
+{
+    RunConfig cfg;
+    cfg.sampleCap = 4;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(Runner, ProducesPerLayerPerPhaseStats)
+{
+    ScnnPe pe;
+    const auto stats = runConvNetwork(pe, tinyNetwork(),
+                                      SparsityProfile::swat(0.9),
+                                      tinyConfig());
+    ASSERT_EQ(stats.layers.size(), 3u);
+    for (const auto &layer : stats.layers) {
+        for (const auto &phase : layer.phases) {
+            EXPECT_GT(phase.pairsTotal, 0u);
+            EXPECT_LE(phase.pairsSimulated, phase.pairsTotal);
+            EXPECT_GT(phase.counters.get(Counter::Cycles), 0u);
+        }
+    }
+    EXPECT_GT(stats.total.get(Counter::Cycles), 0u);
+    EXPECT_GT(stats.total.get(Counter::MultsExecuted), 0u);
+}
+
+TEST(Runner, SamplingScalesCounters)
+{
+    // With sampleCap >= pairsTotal everything is simulated; the totals
+    // of a capped run should approximate the full run.
+    ScnnPe pe;
+    RunConfig full = tinyConfig();
+    full.sampleCap = 1000;
+    RunConfig capped = tinyConfig();
+    capped.sampleCap = 4;
+    const std::vector<ConvLayer> net = {{"l0", 4, 4, 12, 12, 3, 1, 1}};
+    const auto full_stats =
+        runConvNetwork(pe, net, SparsityProfile::swat(0.9), full);
+    const auto capped_stats =
+        runConvNetwork(pe, net, SparsityProfile::swat(0.9), capped);
+    const double full_mults = static_cast<double>(
+        full_stats.total.get(Counter::MultsExecuted));
+    const double capped_mults = static_cast<double>(
+        capped_stats.total.get(Counter::MultsExecuted));
+    EXPECT_NEAR(capped_mults / full_mults, 1.0, 0.35);
+}
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    ScnnPe pe;
+    const auto a = runConvNetwork(pe, tinyNetwork(),
+                                  SparsityProfile::swat(0.9), tinyConfig());
+    const auto b = runConvNetwork(pe, tinyNetwork(),
+                                  SparsityProfile::swat(0.9), tinyConfig());
+    EXPECT_EQ(a.total.get(Counter::Cycles), b.total.get(Counter::Cycles));
+    EXPECT_EQ(a.total.get(Counter::MultsExecuted),
+              b.total.get(Counter::MultsExecuted));
+}
+
+TEST(Runner, AntBeatsScnnAtHighSparsity)
+{
+    ScnnPe scnn;
+    AntPe ant;
+    const auto cfg = tinyConfig();
+    const auto profile = SparsityProfile::swat(0.9);
+    const auto scnn_stats = runConvNetwork(scnn, tinyNetwork(), profile,
+                                           cfg);
+    const auto ant_stats = runConvNetwork(ant, tinyNetwork(), profile,
+                                          cfg);
+    EXPECT_GT(speedupOf(scnn_stats, ant_stats), 1.0);
+    EXPECT_GT(energyRatioOf(scnn_stats, ant_stats), 1.0);
+    EXPECT_GT(ant_stats.rcpAvoidedFraction(), 0.5);
+    EXPECT_EQ(scnn_stats.total.get(Counter::RcpsAvoided), 0u);
+}
+
+TEST(Runner, PhaseMaskSkipsPhases)
+{
+    ScnnPe pe;
+    RunConfig cfg = tinyConfig();
+    cfg.phases = {true, false, false};
+    const auto stats = runConvNetwork(pe, tinyNetwork(),
+                                      SparsityProfile::swat(0.9), cfg);
+    for (const auto &layer : stats.layers) {
+        EXPECT_GT(layer.phases[0].pairsTotal, 0u);
+        EXPECT_EQ(layer.phases[1].pairsTotal, 0u);
+        EXPECT_EQ(layer.phases[2].pairsTotal, 0u);
+    }
+}
+
+TEST(Runner, AcceleratorCyclesArePerfectBalance)
+{
+    ScnnPe pe;
+    const auto stats = runConvNetwork(pe, tinyNetwork(),
+                                      SparsityProfile::swat(0.9),
+                                      tinyConfig());
+    const std::uint64_t pe_cycles = stats.total.get(Counter::Cycles);
+    EXPECT_EQ(stats.acceleratorCycles(64), (pe_cycles + 63) / 64);
+}
+
+TEST(Runner, MatmulWorkload)
+{
+    AntPe ant;
+    const std::vector<MatmulLayer> layers = {{"mm", 64, 16, 16, 32}};
+    RunConfig cfg = tinyConfig();
+    const auto stats = runMatmulNetwork(ant, layers, 0.9,
+                                        SparsifyMethod::Bernoulli, cfg);
+    ASSERT_EQ(stats.layers.size(), 1u);
+    EXPECT_GT(stats.total.get(Counter::MultsExecuted), 0u);
+    EXPECT_GT(stats.rcpAvoidedFraction(), 0.8);
+}
+
+TEST(Runner, ValidMultFractionBounds)
+{
+    ScnnPe pe;
+    const auto stats = runConvNetwork(pe, tinyNetwork(),
+                                      SparsityProfile::swat(0.9),
+                                      tinyConfig());
+    EXPECT_GE(stats.validMultFraction(), 0.0);
+    EXPECT_LE(stats.validMultFraction(), 1.0);
+}
+
+TEST(Runner, UpdatePhaseDominatedByRcpsOnScnn)
+{
+    // The Fig. 1 observation at network scale: in the update phase the
+    // valid fraction of executed products collapses.
+    ScnnPe pe;
+    RunConfig cfg = tinyConfig();
+    cfg.phases = {false, false, true};
+    const auto stats = runConvNetwork(pe, tinyNetwork(),
+                                      SparsityProfile::swat(0.9), cfg);
+    EXPECT_LT(stats.validMultFraction(), 0.35);
+}
+
+} // namespace
+} // namespace antsim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the SCNN-like baseline PE cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "conv/dense_conv.hh"
+#include "scnn/scnn_pe.hh"
+#include "tensor/sparsify.hh"
+#include "util/rng.hh"
+
+namespace antsim {
+namespace {
+
+struct Planes
+{
+    Dense2d<float> kernel;
+    Dense2d<float> image;
+    ProblemSpec spec;
+};
+
+Planes
+makePlanes(std::uint32_t kdim, std::uint32_t idim, double sparsity,
+           std::uint64_t seed, std::uint32_t stride = 1)
+{
+    Rng rng(seed);
+    return {bernoulliPlane(kdim, kdim, sparsity, rng),
+            bernoulliPlane(idim, idim, sparsity, rng),
+            ProblemSpec::conv(kdim, kdim, idim, idim, stride)};
+}
+
+TEST(ScnnPe, OutputMatchesDenseReference)
+{
+    const Planes p = makePlanes(3, 10, 0.5, 1);
+    ScnnPe pe;
+    const PeResult r = pe.runPair(p.spec, CsrMatrix::fromDense(p.kernel),
+                                  CsrMatrix::fromDense(p.image), true);
+    const auto ref = referenceExecute(p.spec, p.kernel, p.image);
+    EXPECT_LT(maxAbsDiff(r.output, ref), 1e-9);
+}
+
+TEST(ScnnPe, ExecutesFullCartesianProduct)
+{
+    const Planes p = makePlanes(4, 9, 0.5, 2);
+    const CsrMatrix kernel = CsrMatrix::fromDense(p.kernel);
+    const CsrMatrix image = CsrMatrix::fromDense(p.image);
+    ScnnPe pe;
+    const PeResult r = pe.runPair(p.spec, kernel, image, true);
+    EXPECT_EQ(r.counters.get(Counter::MultsExecuted),
+              static_cast<std::uint64_t>(kernel.nnz()) * image.nnz());
+    // No anticipation: nothing avoided.
+    EXPECT_EQ(r.counters.get(Counter::RcpsAvoided), 0u);
+}
+
+TEST(ScnnPe, CycleFormula)
+{
+    const Planes p = makePlanes(5, 12, 0.4, 3);
+    const CsrMatrix kernel = CsrMatrix::fromDense(p.kernel);
+    const CsrMatrix image = CsrMatrix::fromDense(p.image);
+    ScnnPeConfig cfg;
+    cfg.n = 4;
+    ScnnPe pe(cfg);
+    const PeResult r = pe.runPair(p.spec, kernel, image, true);
+    const std::uint64_t igroups = (image.nnz() + 3) / 4;
+    const std::uint64_t kgroups = (kernel.nnz() + 3) / 4;
+    EXPECT_EQ(r.counters.get(Counter::Cycles),
+              cfg.startupCycles + igroups * kgroups);
+    EXPECT_EQ(r.counters.get(Counter::ActiveCycles), igroups * kgroups);
+}
+
+TEST(ScnnPe, ValidPlusRcpEqualsExecuted)
+{
+    const Planes p = makePlanes(6, 11, 0.5, 4);
+    ScnnPe pe;
+    const PeResult r = pe.runPair(p.spec, CsrMatrix::fromDense(p.kernel),
+                                  CsrMatrix::fromDense(p.image), true);
+    EXPECT_EQ(r.counters.get(Counter::MultsValid) +
+                  r.counters.get(Counter::MultsRcp),
+              r.counters.get(Counter::MultsExecuted));
+}
+
+TEST(ScnnPe, CountingPathMatchesFunctionalPath)
+{
+    // The fast counting path must agree with the functional path on
+    // every counter, across shapes and sparsities.
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const Planes p =
+            makePlanes(3 + seed % 3, 9 + seed, 0.3 + 0.1 * seed, 50 + seed);
+        const CsrMatrix kernel = CsrMatrix::fromDense(p.kernel);
+        const CsrMatrix image = CsrMatrix::fromDense(p.image);
+        ScnnPe pe;
+        const PeResult slow = pe.runPair(p.spec, kernel, image, true);
+        const PeResult fast = pe.runPair(p.spec, kernel, image, false);
+        for (std::size_t i = 0; i < kNumCounters; ++i) {
+            const auto counter = static_cast<Counter>(i);
+            EXPECT_EQ(fast.counters.get(counter),
+                      slow.counters.get(counter))
+                << counterName(counter) << " seed " << seed;
+        }
+    }
+}
+
+TEST(ScnnPe, CountingPathMatchesFunctionalPathMatmul)
+{
+    Rng rng(77);
+    const auto image_plane = bernoulliPlane(12, 10, 0.5, rng);
+    const auto kernel_plane = bernoulliPlane(10, 8, 0.5, rng);
+    const auto spec = ProblemSpec::matmul(12, 10, 10, 8);
+    const CsrMatrix kernel = CsrMatrix::fromDense(kernel_plane);
+    const CsrMatrix image = CsrMatrix::fromDense(image_plane);
+    ScnnPe pe;
+    const PeResult slow = pe.runPair(spec, kernel, image, true);
+    const PeResult fast = pe.runPair(spec, kernel, image, false);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const auto counter = static_cast<Counter>(i);
+        EXPECT_EQ(fast.counters.get(counter), slow.counters.get(counter))
+            << counterName(counter);
+    }
+}
+
+TEST(ScnnPe, EmptyOperands)
+{
+    const auto spec = ProblemSpec::conv(3, 3, 8, 8);
+    ScnnPe pe;
+    const CsrMatrix kernel(3, 3);
+    const CsrMatrix image(8, 8);
+    const PeResult r = pe.runPair(spec, kernel, image, true);
+    EXPECT_EQ(r.counters.get(Counter::MultsExecuted), 0u);
+    EXPECT_EQ(r.counters.get(Counter::Cycles), 5u); // startup only
+}
+
+TEST(ScnnPe, UpdatePhaseShapeIsRcpDominated)
+{
+    // The Fig. 1c phenomenon: on a G_A*A-shaped pair, most executed
+    // products are RCPs.
+    Rng rng(9);
+    const auto kernel_plane = bernoulliPlane(14, 14, 0.9, rng);
+    const auto image_plane = bernoulliPlane(16, 16, 0.9, rng);
+    const auto spec = ProblemSpec::conv(14, 14, 16, 16);
+    ScnnPe pe;
+    const PeResult r =
+        pe.runPair(spec, CsrMatrix::fromDense(kernel_plane),
+                   CsrMatrix::fromDense(image_plane), false);
+    const double rcp_fraction =
+        static_cast<double>(r.counters.get(Counter::MultsRcp)) /
+        static_cast<double>(r.counters.get(Counter::MultsExecuted));
+    EXPECT_GT(rcp_fraction, 0.8);
+}
+
+TEST(ScnnPe, MultiplierCount)
+{
+    ScnnPeConfig cfg;
+    cfg.n = 6;
+    ScnnPe pe(cfg);
+    EXPECT_EQ(pe.multiplierCount(), 36u);
+    EXPECT_EQ(pe.name(), "SCNN-like");
+}
+
+/** Parameterized: functional correctness across multiplier widths. */
+class ScnnSweep : public ::testing::TestWithParam<
+                      std::tuple<std::uint32_t, std::uint32_t, double>>
+{};
+
+TEST_P(ScnnSweep, OutputMatchesReference)
+{
+    const auto [n, stride, sparsity] = GetParam();
+    const Planes p = makePlanes(3, 12, sparsity, n * 7 + stride, stride);
+    ScnnPeConfig cfg;
+    cfg.n = n;
+    ScnnPe pe(cfg);
+    const PeResult r = pe.runPair(p.spec, CsrMatrix::fromDense(p.kernel),
+                                  CsrMatrix::fromDense(p.image), true);
+    EXPECT_LT(maxAbsDiff(r.output,
+                         referenceExecute(p.spec, p.kernel, p.image)),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ScnnSweep,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u),
+                       ::testing::Values(1u, 2u),
+                       ::testing::Values(0.2, 0.9)));
+
+} // namespace
+} // namespace antsim

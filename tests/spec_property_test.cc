@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Randomized property sweep over ProblemSpec geometries: the range
+ * algebra (forward and inverse) must be sound for arbitrary
+ * stride/dilation/shape combinations, and the efficiency model must
+ * equal brute-force counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "conv/problem_spec.hh"
+#include "util/rng.hh"
+
+namespace antsim {
+namespace {
+
+struct RandomSpec
+{
+    ProblemSpec spec;
+};
+
+ProblemSpec
+randomConvSpec(Rng &rng)
+{
+    for (;;) {
+        const auto stride = static_cast<std::uint32_t>(rng.range(1, 3));
+        const auto dil = static_cast<std::uint32_t>(rng.range(1, 3));
+        const auto kh = static_cast<std::uint32_t>(rng.range(1, 6));
+        const auto kw = static_cast<std::uint32_t>(rng.range(1, 6));
+        const auto ih = static_cast<std::uint32_t>(rng.range(4, 24));
+        const auto iw = static_cast<std::uint32_t>(rng.range(4, 24));
+        if (dil * (kh - 1) + 1 <= ih && dil * (kw - 1) + 1 <= iw)
+            return ProblemSpec::conv(kh, kw, ih, iw, stride, dil);
+    }
+}
+
+TEST(SpecProperty, RangesAreSoundForRandomGeometries)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 60; ++trial) {
+        const ProblemSpec spec = randomConvSpec(rng);
+        for (int probe = 0; probe < 200; ++probe) {
+            const auto x = static_cast<std::uint32_t>(
+                rng.below(spec.imageW()));
+            const auto y = static_cast<std::uint32_t>(
+                rng.below(spec.imageH()));
+            const auto s = static_cast<std::uint32_t>(
+                rng.below(spec.kernelW()));
+            const auto r = static_cast<std::uint32_t>(
+                rng.below(spec.kernelH()));
+            if (!spec.isValid(x, y, s, r))
+                continue;
+            // Forward ranges (Eqs. 7-12 generalized).
+            EXPECT_TRUE(spec.sRangeIdeal(x).contains(s))
+                << spec.toString();
+            EXPECT_TRUE(spec.rRangeIdeal(y).contains(r))
+                << spec.toString();
+            // Inverse ranges (Sec. 4.6 kernel-stationary).
+            EXPECT_TRUE(spec.xRange(s, s).contains(x)) << spec.toString();
+            EXPECT_TRUE(spec.yRange(r, r).contains(y)) << spec.toString();
+        }
+    }
+}
+
+TEST(SpecProperty, GroupRangesContainElementRanges)
+{
+    // Widening the group extremes can only widen the admitted range
+    // (monotonicity of the screen).
+    Rng rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        const ProblemSpec spec = randomConvSpec(rng);
+        const auto x1 = static_cast<std::uint32_t>(
+            rng.below(spec.imageW()));
+        const auto x2 = static_cast<std::uint32_t>(
+            rng.below(spec.imageW()));
+        const auto lo = std::min(x1, x2);
+        const auto hi = std::max(x1, x2);
+        const IndexRange wide = spec.sRange(lo, hi);
+        for (std::uint32_t x : {lo, hi}) {
+            const IndexRange narrow = spec.sRange(x, x);
+            if (narrow.empty())
+                continue;
+            EXPECT_LE(wide.lo, narrow.lo) << spec.toString();
+            EXPECT_GE(wide.hi, narrow.hi) << spec.toString();
+        }
+    }
+}
+
+TEST(SpecProperty, EfficiencyEqualsBruteForceCount)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const ProblemSpec spec = randomConvSpec(rng);
+        // Brute-force count of valid (x, y, s, r) quadruples.
+        std::uint64_t valid = 0;
+        for (std::uint32_t x = 0; x < spec.imageW(); ++x)
+            for (std::uint32_t y = 0; y < spec.imageH(); ++y)
+                for (std::uint32_t s = 0; s < spec.kernelW(); ++s)
+                    for (std::uint32_t r = 0; r < spec.kernelH(); ++r)
+                        valid += spec.isValid(x, y, s, r) ? 1 : 0;
+        EXPECT_EQ(valid, spec.denseValidProducts()) << spec.toString();
+    }
+}
+
+TEST(SpecProperty, OutputIndexBijectiveOverValidProducts)
+{
+    // For each output cell, the number of valid products mapping to it
+    // is exactly kernelH * kernelW (every tap lands in the image for
+    // the geometries ProblemSpec::conv admits).
+    Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        const ProblemSpec spec = randomConvSpec(rng);
+        std::vector<std::uint32_t> hits(
+            static_cast<std::size_t>(spec.outH()) * spec.outW(), 0);
+        for (std::uint32_t x = 0; x < spec.imageW(); ++x)
+            for (std::uint32_t y = 0; y < spec.imageH(); ++y)
+                for (std::uint32_t s = 0; s < spec.kernelW(); ++s)
+                    for (std::uint32_t r = 0; r < spec.kernelH(); ++r) {
+                        const auto out = spec.outputIndex(x, y, s, r);
+                        if (out)
+                            ++hits[static_cast<std::size_t>(out->y) *
+                                       spec.outW() +
+                                   out->x];
+                    }
+        for (std::uint32_t h : hits)
+            EXPECT_EQ(h, spec.kernelH() * spec.kernelW())
+                << spec.toString();
+    }
+}
+
+} // namespace
+} // namespace antsim

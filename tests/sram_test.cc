@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the SRAM buffer model (capacity enforcement + access
+ * counting with 2 elements per 64-bit access, Sec. 6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sram.hh"
+
+namespace antsim {
+namespace {
+
+TEST(SramConfig, DefaultGeometry)
+{
+    const SramConfig cfg;
+    EXPECT_EQ(cfg.capacityBytes, 8u * 1024);
+    EXPECT_EQ(cfg.capacityElements(), 4096u);
+    EXPECT_EQ(cfg.elementsPerAccess(), 4u);
+}
+
+TEST(SramConfig, NarrowerAccess)
+{
+    SramConfig cfg;
+    cfg.accessBits = 32;
+    EXPECT_EQ(cfg.elementsPerAccess(), 2u);
+}
+
+TEST(Sram, FillWithinCapacity)
+{
+    SramBuffer buf("test", SramConfig{}, Counter::SramValueReads);
+    buf.fill(4096);
+    EXPECT_EQ(buf.occupancy(), 4096u);
+}
+
+TEST(SramDeathTest, OverCapacityIsFatal)
+{
+    SramBuffer buf("test", SramConfig{}, Counter::SramValueReads);
+    EXPECT_EXIT(buf.fill(4097), ::testing::ExitedWithCode(1),
+                "over capacity");
+}
+
+TEST(Sram, ReadChargesWordAccesses)
+{
+    SramBuffer buf("test", SramConfig{}, Counter::SramValueReads);
+    CounterSet c;
+    buf.read(8, c);
+    EXPECT_EQ(c.get(Counter::SramValueReads), 2u);
+    buf.read(1, c); // partial word still costs one access
+    EXPECT_EQ(c.get(Counter::SramValueReads), 3u);
+    buf.read(0, c); // free
+    EXPECT_EQ(c.get(Counter::SramValueReads), 3u);
+}
+
+TEST(Sram, ReadChargesConfiguredCounter)
+{
+    SramBuffer buf("idx", SramConfig{}, Counter::SramIndexReads);
+    CounterSet c;
+    buf.read(4, c);
+    EXPECT_EQ(c.get(Counter::SramIndexReads), 1u);
+    EXPECT_EQ(c.get(Counter::SramValueReads), 0u);
+}
+
+TEST(Sram, WriteChargesWriteCounter)
+{
+    SramBuffer buf("acc", SramConfig{}, Counter::SramValueReads);
+    CounterSet c;
+    buf.write(5, c);
+    EXPECT_EQ(c.get(Counter::SramWrites), 2u);
+}
+
+TEST(SramDeathTest, BadGeometryPanics)
+{
+    SramConfig cfg;
+    cfg.elementBits = 24; // does not divide 64
+    EXPECT_DEATH(SramBuffer("bad", cfg, Counter::SramValueReads),
+                 "multiple");
+}
+
+} // namespace
+} // namespace antsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the dense matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.hh"
+
+namespace antsim {
+namespace {
+
+TEST(Dense2d, ConstructionAndFill)
+{
+    Dense2d<float> m(3, 4, 1.5f);
+    EXPECT_EQ(m.height(), 3u);
+    EXPECT_EQ(m.width(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_EQ(m.at(3, 2), 1.5f);
+}
+
+TEST(Dense2d, EmptyMatrix)
+{
+    Dense2d<float> m;
+    EXPECT_EQ(m.height(), 0u);
+    EXPECT_EQ(m.width(), 0u);
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+}
+
+TEST(Dense2d, RowMajorLayout)
+{
+    Dense2d<int> m(2, 3);
+    m.at(0, 0) = 1;
+    m.at(1, 0) = 2;
+    m.at(2, 0) = 3;
+    m.at(0, 1) = 4;
+    EXPECT_EQ(m.data()[0], 1);
+    EXPECT_EQ(m.data()[1], 2);
+    EXPECT_EQ(m.data()[2], 3);
+    EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(Dense2d, XIsColumnYIsRow)
+{
+    // Index convention check: at(x, y) with x in [0, W), y in [0, H).
+    Dense2d<int> m(2, 5); // H=2 rows, W=5 columns
+    m.at(4, 1) = 9;       // last column, last row
+    EXPECT_EQ(m.data()[1 * 5 + 4], 9);
+}
+
+TEST(Dense2d, NnzAndSparsity)
+{
+    Dense2d<float> m(2, 2);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+    m.at(0, 0) = 3.0f;
+    m.at(1, 1) = -1.0f;
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.5);
+}
+
+TEST(Dense2d, Equality)
+{
+    Dense2d<float> a(2, 2, 1.0f);
+    Dense2d<float> b(2, 2, 1.0f);
+    EXPECT_EQ(a, b);
+    b.at(0, 1) = 2.0f;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Dense2dDeathTest, OutOfBoundsPanics)
+{
+    Dense2d<float> m(2, 3);
+    EXPECT_DEATH((void)m.at(3, 0), "out of");
+    EXPECT_DEATH((void)m.at(0, 2), "out of");
+}
+
+} // namespace
+} // namespace antsim

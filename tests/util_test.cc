@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for counters, stats, tables, and the CLI parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/counters.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/cli.hh"
+
+namespace antsim {
+namespace {
+
+TEST(Counters, StartAtZero)
+{
+    CounterSet counters;
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+        EXPECT_EQ(counters.get(static_cast<Counter>(i)), 0u);
+}
+
+TEST(Counters, AddAndGet)
+{
+    CounterSet counters;
+    counters.add(Counter::MultsExecuted, 5);
+    counters.add(Counter::MultsExecuted);
+    EXPECT_EQ(counters.get(Counter::MultsExecuted), 6u);
+    EXPECT_EQ(counters.get(Counter::MultsValid), 0u);
+}
+
+TEST(Counters, SetOverwrites)
+{
+    CounterSet counters;
+    counters.add(Counter::Cycles, 100);
+    counters.set(Counter::Cycles, 7);
+    EXPECT_EQ(counters.get(Counter::Cycles), 7u);
+}
+
+TEST(Counters, AccumulateElementwise)
+{
+    CounterSet a;
+    CounterSet b;
+    a.add(Counter::Cycles, 10);
+    b.add(Counter::Cycles, 5);
+    b.add(Counter::MultsRcp, 3);
+    a += b;
+    EXPECT_EQ(a.get(Counter::Cycles), 15u);
+    EXPECT_EQ(a.get(Counter::MultsRcp), 3u);
+}
+
+TEST(Counters, ScaleByRational)
+{
+    CounterSet counters;
+    counters.add(Counter::MultsExecuted, 10);
+    counters.scale(3, 2);
+    EXPECT_EQ(counters.get(Counter::MultsExecuted), 15u);
+}
+
+TEST(Counters, ScaleRoundsToNearest)
+{
+    CounterSet counters;
+    counters.add(Counter::MultsExecuted, 5);
+    counters.scale(1, 2); // 2.5 -> 3
+    EXPECT_EQ(counters.get(Counter::MultsExecuted), 3u);
+}
+
+TEST(Counters, ResetClearsAll)
+{
+    CounterSet counters;
+    counters.add(Counter::Cycles, 42);
+    counters.reset();
+    EXPECT_EQ(counters.get(Counter::Cycles), 0u);
+}
+
+TEST(Counters, NamesAreUniqueAndNonNull)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const char *name = counterName(static_cast<Counter>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate counter name " << name;
+    }
+}
+
+TEST(Counters, ToStringListsNonZeroOnly)
+{
+    CounterSet counters;
+    counters.add(Counter::MultsValid, 2);
+    const std::string dump = counters.toString();
+    EXPECT_NE(dump.find("mults_valid = 2"), std::string::npos);
+    EXPECT_EQ(dump.find("mults_rcp"), std::string::npos);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasic)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanSingle)
+{
+    EXPECT_NEAR(geomean({3.71}), 3.71, 1e-12);
+}
+
+TEST(Stats, GeomeanMatchesPaperStyleAggregation)
+{
+    // Five per-network speedups whose geomean should sit between
+    // min and max and below the arithmetic mean.
+    const std::vector<double> xs = {2.1, 3.0, 4.5, 5.2, 4.0};
+    const double g = geomean(xs);
+    EXPECT_GT(g, minOf(xs));
+    EXPECT_LT(g, maxOf(xs));
+    EXPECT_LT(g, mean(xs));
+}
+
+TEST(Stats, StdDev)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, RunningStats)
+{
+    RunningStats rs;
+    rs.push(2.0);
+    rs.push(6.0);
+    rs.push(4.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 6.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 12.0);
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    const std::string text = t.toString();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    Table t({"a"});
+    t.addRow({"x,y"});
+    EXPECT_NE(t.toCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::times(3.705, 2), "3.71x"); // rounds
+    EXPECT_EQ(Table::percent(0.9652, 2), "96.52%");
+}
+
+TEST(Cli, ParsesBothFlagForms)
+{
+    const char *argv[] = {"prog", "--alpha", "3", "--beta=hello",
+                          "--flag"};
+    Cli cli(5, argv, {"alpha", "beta", "flag"});
+    EXPECT_EQ(cli.getInt("alpha", 0), 3);
+    EXPECT_EQ(cli.get("beta"), "hello");
+    EXPECT_TRUE(cli.getBool("flag"));
+    EXPECT_FALSE(cli.getBool("absent"));
+    EXPECT_EQ(cli.getInt("absent", 9), 9);
+    EXPECT_DOUBLE_EQ(cli.getDouble("absent", 1.5), 1.5);
+}
+
+TEST(Cli, HasReportsPresence)
+{
+    const char *argv[] = {"prog", "--alpha", "1"};
+    Cli cli(3, argv, {"alpha", "beta"});
+    EXPECT_TRUE(cli.has("alpha"));
+    EXPECT_FALSE(cli.has("beta"));
+}
+
+} // namespace
+} // namespace antsim
