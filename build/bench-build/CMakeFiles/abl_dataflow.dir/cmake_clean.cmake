@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dataflow"
+  "../bench/abl_dataflow.pdb"
+  "CMakeFiles/abl_dataflow.dir/abl_dataflow.cc.o"
+  "CMakeFiles/abl_dataflow.dir/abl_dataflow.cc.o.d"
+  "CMakeFiles/abl_dataflow.dir/bench_common.cc.o"
+  "CMakeFiles/abl_dataflow.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_energy_params"
+  "../bench/abl_energy_params.pdb"
+  "CMakeFiles/abl_energy_params.dir/abl_energy_params.cc.o"
+  "CMakeFiles/abl_energy_params.dir/abl_energy_params.cc.o.d"
+  "CMakeFiles/abl_energy_params.dir/bench_common.cc.o"
+  "CMakeFiles/abl_energy_params.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

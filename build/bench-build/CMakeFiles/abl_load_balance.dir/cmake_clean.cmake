@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/abl_load_balance"
+  "../bench/abl_load_balance.pdb"
+  "CMakeFiles/abl_load_balance.dir/abl_load_balance.cc.o"
+  "CMakeFiles/abl_load_balance.dir/abl_load_balance.cc.o.d"
+  "CMakeFiles/abl_load_balance.dir/bench_common.cc.o"
+  "CMakeFiles/abl_load_balance.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

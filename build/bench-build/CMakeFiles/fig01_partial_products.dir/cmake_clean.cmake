@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_partial_products"
+  "../bench/fig01_partial_products.pdb"
+  "CMakeFiles/fig01_partial_products.dir/bench_common.cc.o"
+  "CMakeFiles/fig01_partial_products.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig01_partial_products.dir/fig01_partial_products.cc.o"
+  "CMakeFiles/fig01_partial_products.dir/fig01_partial_products.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_partial_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_speedup_energy"
+  "../bench/fig09_speedup_energy.pdb"
+  "CMakeFiles/fig09_speedup_energy.dir/bench_common.cc.o"
+  "CMakeFiles/fig09_speedup_energy.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig09_speedup_energy.dir/fig09_speedup_energy.cc.o"
+  "CMakeFiles/fig09_speedup_energy.dir/fig09_speedup_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speedup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_vs_dense_baseline"
+  "../bench/fig10_vs_dense_baseline.pdb"
+  "CMakeFiles/fig10_vs_dense_baseline.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_vs_dense_baseline.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_vs_dense_baseline.dir/fig10_vs_dense_baseline.cc.o"
+  "CMakeFiles/fig10_vs_dense_baseline.dir/fig10_vs_dense_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vs_dense_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

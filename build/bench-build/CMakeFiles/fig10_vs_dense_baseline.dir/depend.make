@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_vs_dense_baseline.
+# This may be replaced when dependencies are built.

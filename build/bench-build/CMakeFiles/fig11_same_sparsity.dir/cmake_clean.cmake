@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_same_sparsity"
+  "../bench/fig11_same_sparsity.pdb"
+  "CMakeFiles/fig11_same_sparsity.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_same_sparsity.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_same_sparsity.dir/fig11_same_sparsity.cc.o"
+  "CMakeFiles/fig11_same_sparsity.dir/fig11_same_sparsity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_same_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_multiplier_sweep"
+  "../bench/fig12_multiplier_sweep.pdb"
+  "CMakeFiles/fig12_multiplier_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig12_multiplier_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig12_multiplier_sweep.dir/fig12_multiplier_sweep.cc.o"
+  "CMakeFiles/fig12_multiplier_sweep.dir/fig12_multiplier_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_multiplier_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_fnir_k_sweep"
+  "../bench/fig13_fnir_k_sweep.pdb"
+  "CMakeFiles/fig13_fnir_k_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_fnir_k_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_fnir_k_sweep.dir/fig13_fnir_k_sweep.cc.o"
+  "CMakeFiles/fig13_fnir_k_sweep.dir/fig13_fnir_k_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fnir_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_ablation"
+  "../bench/fig14_ablation.pdb"
+  "CMakeFiles/fig14_ablation.dir/bench_common.cc.o"
+  "CMakeFiles/fig14_ablation.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig14_ablation.dir/fig14_ablation.cc.o"
+  "CMakeFiles/fig14_ablation.dir/fig14_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

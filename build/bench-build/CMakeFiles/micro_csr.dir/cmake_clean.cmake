@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_csr"
+  "../bench/micro_csr.pdb"
+  "CMakeFiles/micro_csr.dir/micro_csr.cc.o"
+  "CMakeFiles/micro_csr.dir/micro_csr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

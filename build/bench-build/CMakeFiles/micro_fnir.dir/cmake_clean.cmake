@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fnir"
+  "../bench/micro_fnir.pdb"
+  "CMakeFiles/micro_fnir.dir/micro_fnir.cc.o"
+  "CMakeFiles/micro_fnir.dir/micro_fnir.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fnir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

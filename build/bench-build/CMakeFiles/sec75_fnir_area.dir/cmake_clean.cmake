@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/sec75_fnir_area"
+  "../bench/sec75_fnir_area.pdb"
+  "CMakeFiles/sec75_fnir_area.dir/bench_common.cc.o"
+  "CMakeFiles/sec75_fnir_area.dir/bench_common.cc.o.d"
+  "CMakeFiles/sec75_fnir_area.dir/sec75_fnir_area.cc.o"
+  "CMakeFiles/sec75_fnir_area.dir/sec75_fnir_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_fnir_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/sec77_inner_product"
+  "../bench/sec77_inner_product.pdb"
+  "CMakeFiles/sec77_inner_product.dir/bench_common.cc.o"
+  "CMakeFiles/sec77_inner_product.dir/bench_common.cc.o.d"
+  "CMakeFiles/sec77_inner_product.dir/sec77_inner_product.cc.o"
+  "CMakeFiles/sec77_inner_product.dir/sec77_inner_product.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec77_inner_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec77_inner_product.
+# This may be replaced when dependencies are built.

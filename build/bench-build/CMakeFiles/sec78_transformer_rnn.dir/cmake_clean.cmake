@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/sec78_transformer_rnn"
+  "../bench/sec78_transformer_rnn.pdb"
+  "CMakeFiles/sec78_transformer_rnn.dir/bench_common.cc.o"
+  "CMakeFiles/sec78_transformer_rnn.dir/bench_common.cc.o.d"
+  "CMakeFiles/sec78_transformer_rnn.dir/sec78_transformer_rnn.cc.o"
+  "CMakeFiles/sec78_transformer_rnn.dir/sec78_transformer_rnn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec78_transformer_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_conv_efficiency"
+  "../bench/table2_conv_efficiency.pdb"
+  "CMakeFiles/table2_conv_efficiency.dir/bench_common.cc.o"
+  "CMakeFiles/table2_conv_efficiency.dir/bench_common.cc.o.d"
+  "CMakeFiles/table2_conv_efficiency.dir/table2_conv_efficiency.cc.o"
+  "CMakeFiles/table2_conv_efficiency.dir/table2_conv_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_conv_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table3_matmul_efficiency"
+  "../bench/table3_matmul_efficiency.pdb"
+  "CMakeFiles/table3_matmul_efficiency.dir/bench_common.cc.o"
+  "CMakeFiles/table3_matmul_efficiency.dir/bench_common.cc.o.d"
+  "CMakeFiles/table3_matmul_efficiency.dir/table3_matmul_efficiency.cc.o"
+  "CMakeFiles/table3_matmul_efficiency.dir/table3_matmul_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_matmul_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table5_rcp_avoided"
+  "../bench/table5_rcp_avoided.pdb"
+  "CMakeFiles/table5_rcp_avoided.dir/bench_common.cc.o"
+  "CMakeFiles/table5_rcp_avoided.dir/bench_common.cc.o.d"
+  "CMakeFiles/table5_rcp_avoided.dir/table5_rcp_avoided.cc.o"
+  "CMakeFiles/table5_rcp_avoided.dir/table5_rcp_avoided.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rcp_avoided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

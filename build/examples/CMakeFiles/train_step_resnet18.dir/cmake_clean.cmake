@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_step_resnet18.dir/train_step_resnet18.cc.o"
+  "CMakeFiles/train_step_resnet18.dir/train_step_resnet18.cc.o.d"
+  "train_step_resnet18"
+  "train_step_resnet18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_step_resnet18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for train_step_resnet18.
+# This may be replaced when dependencies are built.

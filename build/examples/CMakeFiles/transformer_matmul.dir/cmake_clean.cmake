@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_matmul.dir/transformer_matmul.cc.o"
+  "CMakeFiles/transformer_matmul.dir/transformer_matmul.cc.o.d"
+  "transformer_matmul"
+  "transformer_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

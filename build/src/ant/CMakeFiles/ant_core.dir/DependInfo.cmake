@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ant/ant_pe.cc" "src/ant/CMakeFiles/ant_core.dir/ant_pe.cc.o" "gcc" "src/ant/CMakeFiles/ant_core.dir/ant_pe.cc.o.d"
+  "/root/repo/src/ant/ant_pipeline.cc" "src/ant/CMakeFiles/ant_core.dir/ant_pipeline.cc.o" "gcc" "src/ant/CMakeFiles/ant_core.dir/ant_pipeline.cc.o.d"
+  "/root/repo/src/ant/area_model.cc" "src/ant/CMakeFiles/ant_core.dir/area_model.cc.o" "gcc" "src/ant/CMakeFiles/ant_core.dir/area_model.cc.o.d"
+  "/root/repo/src/ant/fnir.cc" "src/ant/CMakeFiles/ant_core.dir/fnir.cc.o" "gcc" "src/ant/CMakeFiles/ant_core.dir/fnir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/ant_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ant_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

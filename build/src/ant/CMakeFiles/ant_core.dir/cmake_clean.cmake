@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_core.dir/ant_pe.cc.o"
+  "CMakeFiles/ant_core.dir/ant_pe.cc.o.d"
+  "CMakeFiles/ant_core.dir/ant_pipeline.cc.o"
+  "CMakeFiles/ant_core.dir/ant_pipeline.cc.o.d"
+  "CMakeFiles/ant_core.dir/area_model.cc.o"
+  "CMakeFiles/ant_core.dir/area_model.cc.o.d"
+  "CMakeFiles/ant_core.dir/fnir.cc.o"
+  "CMakeFiles/ant_core.dir/fnir.cc.o.d"
+  "libant_core.a"
+  "libant_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_baselines.dir/inner_product.cc.o"
+  "CMakeFiles/ant_baselines.dir/inner_product.cc.o.d"
+  "libant_baselines.a"
+  "libant_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

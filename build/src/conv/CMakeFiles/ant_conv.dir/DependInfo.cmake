@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conv/anticipate.cc" "src/conv/CMakeFiles/ant_conv.dir/anticipate.cc.o" "gcc" "src/conv/CMakeFiles/ant_conv.dir/anticipate.cc.o.d"
+  "/root/repo/src/conv/dense_conv.cc" "src/conv/CMakeFiles/ant_conv.dir/dense_conv.cc.o" "gcc" "src/conv/CMakeFiles/ant_conv.dir/dense_conv.cc.o.d"
+  "/root/repo/src/conv/outer_product.cc" "src/conv/CMakeFiles/ant_conv.dir/outer_product.cc.o" "gcc" "src/conv/CMakeFiles/ant_conv.dir/outer_product.cc.o.d"
+  "/root/repo/src/conv/problem_spec.cc" "src/conv/CMakeFiles/ant_conv.dir/problem_spec.cc.o" "gcc" "src/conv/CMakeFiles/ant_conv.dir/problem_spec.cc.o.d"
+  "/root/repo/src/conv/rcp_model.cc" "src/conv/CMakeFiles/ant_conv.dir/rcp_model.cc.o" "gcc" "src/conv/CMakeFiles/ant_conv.dir/rcp_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ant_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_conv.dir/anticipate.cc.o"
+  "CMakeFiles/ant_conv.dir/anticipate.cc.o.d"
+  "CMakeFiles/ant_conv.dir/dense_conv.cc.o"
+  "CMakeFiles/ant_conv.dir/dense_conv.cc.o.d"
+  "CMakeFiles/ant_conv.dir/outer_product.cc.o"
+  "CMakeFiles/ant_conv.dir/outer_product.cc.o.d"
+  "CMakeFiles/ant_conv.dir/problem_spec.cc.o"
+  "CMakeFiles/ant_conv.dir/problem_spec.cc.o.d"
+  "CMakeFiles/ant_conv.dir/rcp_model.cc.o"
+  "CMakeFiles/ant_conv.dir/rcp_model.cc.o.d"
+  "libant_conv.a"
+  "libant_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_scnn.dir/scnn_pe.cc.o"
+  "CMakeFiles/ant_scnn.dir/scnn_pe.cc.o.d"
+  "libant_scnn.a"
+  "libant_scnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_scnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

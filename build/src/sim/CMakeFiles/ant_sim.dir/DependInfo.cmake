@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator.cc" "src/sim/CMakeFiles/ant_sim.dir/accelerator.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/accelerator.cc.o.d"
+  "/root/repo/src/sim/accumulator.cc" "src/sim/CMakeFiles/ant_sim.dir/accumulator.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/accumulator.cc.o.d"
+  "/root/repo/src/sim/chunking.cc" "src/sim/CMakeFiles/ant_sim.dir/chunking.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/chunking.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/sim/CMakeFiles/ant_sim.dir/clock.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/clock.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/ant_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/sram.cc" "src/sim/CMakeFiles/ant_sim.dir/sram.cc.o" "gcc" "src/sim/CMakeFiles/ant_sim.dir/sram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conv/CMakeFiles/ant_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ant_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_sim.dir/accelerator.cc.o"
+  "CMakeFiles/ant_sim.dir/accelerator.cc.o.d"
+  "CMakeFiles/ant_sim.dir/accumulator.cc.o"
+  "CMakeFiles/ant_sim.dir/accumulator.cc.o.d"
+  "CMakeFiles/ant_sim.dir/chunking.cc.o"
+  "CMakeFiles/ant_sim.dir/chunking.cc.o.d"
+  "CMakeFiles/ant_sim.dir/clock.cc.o"
+  "CMakeFiles/ant_sim.dir/clock.cc.o.d"
+  "CMakeFiles/ant_sim.dir/energy.cc.o"
+  "CMakeFiles/ant_sim.dir/energy.cc.o.d"
+  "CMakeFiles/ant_sim.dir/sram.cc.o"
+  "CMakeFiles/ant_sim.dir/sram.cc.o.d"
+  "libant_sim.a"
+  "libant_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/csr.cc" "src/tensor/CMakeFiles/ant_tensor.dir/csr.cc.o" "gcc" "src/tensor/CMakeFiles/ant_tensor.dir/csr.cc.o.d"
+  "/root/repo/src/tensor/sparsify.cc" "src/tensor/CMakeFiles/ant_tensor.dir/sparsify.cc.o" "gcc" "src/tensor/CMakeFiles/ant_tensor.dir/sparsify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

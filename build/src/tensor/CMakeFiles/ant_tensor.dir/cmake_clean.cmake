@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_tensor.dir/csr.cc.o"
+  "CMakeFiles/ant_tensor.dir/csr.cc.o.d"
+  "CMakeFiles/ant_tensor.dir/sparsify.cc.o"
+  "CMakeFiles/ant_tensor.dir/sparsify.cc.o.d"
+  "libant_tensor.a"
+  "libant_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

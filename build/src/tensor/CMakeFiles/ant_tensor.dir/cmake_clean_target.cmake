@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libant_tensor.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_util.dir/cli.cc.o"
+  "CMakeFiles/ant_util.dir/cli.cc.o.d"
+  "CMakeFiles/ant_util.dir/counters.cc.o"
+  "CMakeFiles/ant_util.dir/counters.cc.o.d"
+  "CMakeFiles/ant_util.dir/logging.cc.o"
+  "CMakeFiles/ant_util.dir/logging.cc.o.d"
+  "CMakeFiles/ant_util.dir/rng.cc.o"
+  "CMakeFiles/ant_util.dir/rng.cc.o.d"
+  "CMakeFiles/ant_util.dir/stats.cc.o"
+  "CMakeFiles/ant_util.dir/stats.cc.o.d"
+  "CMakeFiles/ant_util.dir/table.cc.o"
+  "CMakeFiles/ant_util.dir/table.cc.o.d"
+  "libant_util.a"
+  "libant_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

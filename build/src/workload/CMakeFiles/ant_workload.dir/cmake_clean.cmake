@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_workload.dir/layer.cc.o"
+  "CMakeFiles/ant_workload.dir/layer.cc.o.d"
+  "CMakeFiles/ant_workload.dir/networks.cc.o"
+  "CMakeFiles/ant_workload.dir/networks.cc.o.d"
+  "CMakeFiles/ant_workload.dir/runner.cc.o"
+  "CMakeFiles/ant_workload.dir/runner.cc.o.d"
+  "CMakeFiles/ant_workload.dir/tracegen.cc.o"
+  "CMakeFiles/ant_workload.dir/tracegen.cc.o.d"
+  "libant_workload.a"
+  "libant_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

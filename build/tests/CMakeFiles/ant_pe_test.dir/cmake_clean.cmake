@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_pe_test.dir/ant_pe_test.cc.o"
+  "CMakeFiles/ant_pe_test.dir/ant_pe_test.cc.o.d"
+  "ant_pe_test"
+  "ant_pe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

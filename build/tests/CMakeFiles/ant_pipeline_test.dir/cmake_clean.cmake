@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ant_pipeline_test.dir/ant_pipeline_test.cc.o"
+  "CMakeFiles/ant_pipeline_test.dir/ant_pipeline_test.cc.o.d"
+  "ant_pipeline_test"
+  "ant_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ant_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anticipate_test.dir/anticipate_test.cc.o"
+  "CMakeFiles/anticipate_test.dir/anticipate_test.cc.o.d"
+  "anticipate_test"
+  "anticipate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anticipate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfloat16_test.dir/bfloat16_test.cc.o"
+  "CMakeFiles/bfloat16_test.dir/bfloat16_test.cc.o.d"
+  "bfloat16_test"
+  "bfloat16_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfloat16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_conv_test.dir/dense_conv_test.cc.o"
+  "CMakeFiles/dense_conv_test.dir/dense_conv_test.cc.o.d"
+  "dense_conv_test"
+  "dense_conv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnir_test.dir/fnir_test.cc.o"
+  "CMakeFiles/fnir_test.dir/fnir_test.cc.o.d"
+  "fnir_test"
+  "fnir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networks_test.dir/networks_test.cc.o"
+  "CMakeFiles/networks_test.dir/networks_test.cc.o.d"
+  "networks_test"
+  "networks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outer_product_test.dir/outer_product_test.cc.o"
+  "CMakeFiles/outer_product_test.dir/outer_product_test.cc.o.d"
+  "outer_product_test"
+  "outer_product_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outer_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

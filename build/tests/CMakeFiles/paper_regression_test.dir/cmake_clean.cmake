@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_regression_test.dir/paper_regression_test.cc.o"
+  "CMakeFiles/paper_regression_test.dir/paper_regression_test.cc.o.d"
+  "paper_regression_test"
+  "paper_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

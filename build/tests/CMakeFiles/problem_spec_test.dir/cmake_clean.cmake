@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_spec_test.dir/problem_spec_test.cc.o"
+  "CMakeFiles/problem_spec_test.dir/problem_spec_test.cc.o.d"
+  "problem_spec_test"
+  "problem_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcp_model_test.dir/rcp_model_test.cc.o"
+  "CMakeFiles/rcp_model_test.dir/rcp_model_test.cc.o.d"
+  "rcp_model_test"
+  "rcp_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcp_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_chunking_test.dir/runner_chunking_test.cc.o"
+  "CMakeFiles/runner_chunking_test.dir/runner_chunking_test.cc.o.d"
+  "runner_chunking_test"
+  "runner_chunking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_chunking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scnn_pe_test.dir/scnn_pe_test.cc.o"
+  "CMakeFiles/scnn_pe_test.dir/scnn_pe_test.cc.o.d"
+  "scnn_pe_test"
+  "scnn_pe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scnn_pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

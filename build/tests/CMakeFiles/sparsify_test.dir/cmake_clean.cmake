@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsify_test.dir/sparsify_test.cc.o"
+  "CMakeFiles/sparsify_test.dir/sparsify_test.cc.o.d"
+  "sparsify_test"
+  "sparsify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scnn/CMakeFiles/ant_scnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ant/CMakeFiles/ant_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ant_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ant_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/conv/CMakeFiles/ant_conv.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ant_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
