@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "util/audit.hh"
+
 namespace antsim {
 namespace bench {
 
@@ -17,7 +19,7 @@ parseOptions(int argc, const char *const *argv,
              const std::vector<std::string> &extra_flags, Cli **cli_out)
 {
     std::vector<std::string> known = {"samples", "seed", "pes", "csv",
-                                      "chunk"};
+                                      "chunk", "audit"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     g_cli = std::make_unique<Cli>(argc, argv, known);
 
@@ -30,6 +32,8 @@ parseOptions(int argc, const char *const *argv,
     options.run.chunkCapacity =
         static_cast<std::uint32_t>(g_cli->getInt("chunk", 4096));
     options.csv = g_cli->getBool("csv");
+    if (g_cli->getBool("audit"))
+        audit::setEnabled(true);
     if (cli_out != nullptr)
         *cli_out = g_cli.get();
     return options;

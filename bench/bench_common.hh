@@ -10,6 +10,8 @@
  *   --seed S      trace-generation seed                   [default 42]
  *   --pes N       number of PEs                           [default 64]
  *   --csv         additionally dump rows as CSV
+ *   --audit       run the invariant audits (src/verify) on every
+ *                 model execution; violations abort the bench
  */
 
 #ifndef ANTSIM_BENCH_BENCH_COMMON_HH

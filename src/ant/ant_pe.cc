@@ -6,6 +6,7 @@
 
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
+#include "verify/audit_hooks.hh"
 
 namespace antsim {
 
@@ -81,9 +82,14 @@ PeResult
 AntPe::runPair(const ProblemSpec &spec, const CsrMatrix &kernel,
                const CsrMatrix &image, bool collect_output)
 {
-    if (spec.kind() == ProblemSpec::Kind::Matmul)
-        return runMatmulPair(spec, kernel, image, collect_output);
-    return runConvStack(spec, {&kernel}, image, collect_output);
+    if (spec.kind() == ProblemSpec::Kind::Matmul) {
+        const PeResult result =
+            runMatmulPair(spec, kernel, image, collect_output);
+        verify::auditPeRunOrPanic("ANT PE (matmul)", spec, {&kernel},
+                                  image, result, ProductSpace::Cartesian);
+        return result;
+    }
+    return runStack(spec, {&kernel}, image, collect_output);
 }
 
 PeResult
@@ -95,10 +101,12 @@ AntPe::runStack(const ProblemSpec &spec,
     ANT_ASSERT(spec.kind() == ProblemSpec::Kind::Conv,
                "kernel stacks are a convolution dataflow; use runPair "
                "for matmuls");
-    if (config_.dataflow == AntDataflow::KernelStationary)
-        return runConvStackKernelStationary(spec, kernels, image,
-                                            collect_output);
-    return runConvStack(spec, kernels, image, collect_output);
+    const PeResult result = config_.dataflow == AntDataflow::KernelStationary
+        ? runConvStackKernelStationary(spec, kernels, image, collect_output)
+        : runConvStack(spec, kernels, image, collect_output);
+    verify::auditPeRunOrPanic("ANT PE", spec, kernels, image, result,
+                              ProductSpace::Cartesian);
+    return result;
 }
 
 PeResult

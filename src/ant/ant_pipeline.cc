@@ -6,6 +6,7 @@
 #include "ant/fnir.hh"
 #include "sim/clock.hh"
 #include "util/logging.hh"
+#include "verify/audit_hooks.hh"
 
 namespace antsim {
 
@@ -279,6 +280,10 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
 
     result.cycles = cycles;
     result.fnirEvaluations = scanner.evaluations();
+    verify::auditPipelineCountsOrPanic(
+        "ANT pipeline model", result.executed, result.valid,
+        result.residualRcps,
+        static_cast<std::uint64_t>(kernel.nnz()) * image.nnz());
     return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "conv/dense_conv.hh"
 #include "util/logging.hh"
+#include "verify/audit_hooks.hh"
 
 namespace antsim {
 
@@ -132,6 +133,8 @@ DenseInnerProductPe::runStack(const ProblemSpec &spec,
         result.output =
             referenceExecute(spec, sumKernels(kernels), image.toDense());
     }
+    verify::auditPeRunOrPanic("DaDianNao-like PE", spec, kernels, image,
+                              result, ProductSpace::InnerProduct);
     return result;
 }
 
@@ -204,6 +207,8 @@ TensorDashPe::runStack(const ProblemSpec &spec,
         result.output =
             referenceExecute(spec, sumKernels(kernels), image.toDense());
     }
+    verify::auditPeRunOrPanic("TensorDash-like PE", spec, kernels, image,
+                              result, ProductSpace::InnerProduct);
     return result;
 }
 

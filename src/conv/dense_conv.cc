@@ -2,9 +2,32 @@
 
 #include <cmath>
 
+#include "util/audit.hh"
 #include "util/logging.hh"
 
 namespace antsim {
+
+namespace {
+
+/**
+ * Invariant audit of a reference output: every element finite. A NaN
+ * or infinity here means an operand plane was corrupted upstream, and
+ * the dense reference is the last place it can be caught before it
+ * poisons a functional comparison.
+ */
+void
+auditReferenceOutput(const Dense2d<double> &out)
+{
+    if (!audit::enabled())
+        return;
+    for (std::size_t i = 0; i < out.data().size(); ++i) {
+        ANT_ASSERT(std::isfinite(out.data()[i]),
+                   "reference output element ", i, " is non-finite: ",
+                   out.data()[i]);
+    }
+}
+
+} // namespace
 
 Dense2d<double>
 referenceExecute(const ProblemSpec &spec, const Dense2d<float> &kernel,
@@ -30,6 +53,7 @@ referenceExecute(const ProblemSpec &spec, const Dense2d<float> &kernel,
                 out.at(s, y) = acc;
             }
         }
+        auditReferenceOutput(out);
         return out;
     }
 
@@ -49,6 +73,7 @@ referenceExecute(const ProblemSpec &spec, const Dense2d<float> &kernel,
             out.at(ox, oy) = acc;
         }
     }
+    auditReferenceOutput(out);
     return out;
 }
 

@@ -5,6 +5,7 @@
 #include "conv/outer_product.hh"
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
+#include "verify/audit_hooks.hh"
 
 namespace antsim {
 
@@ -52,9 +53,12 @@ ScnnPe::runStack(const ProblemSpec &spec,
                  const CsrMatrix &image, bool collect_output)
 {
     ANT_ASSERT(!kernels.empty(), "kernel stack must not be empty");
-    if (collect_output)
-        return runStackFunctional(spec, kernels, image);
-    return runStackCounting(spec, kernels, image);
+    const PeResult result = collect_output
+        ? runStackFunctional(spec, kernels, image)
+        : runStackCounting(spec, kernels, image);
+    verify::auditPeRunOrPanic("SCNN-like PE", spec, kernels, image, result,
+                              ProductSpace::Cartesian);
+    return result;
 }
 
 PeResult

@@ -1,0 +1,33 @@
+#include "audit.hh"
+
+#include <atomic>
+
+namespace antsim {
+namespace audit {
+
+namespace {
+
+#ifdef ANTSIM_AUDIT_DEFAULT_ON
+constexpr bool kDefaultEnabled = true;
+#else
+constexpr bool kDefaultEnabled = false;
+#endif
+
+std::atomic<bool> g_enabled{kDefaultEnabled};
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+} // namespace audit
+} // namespace antsim

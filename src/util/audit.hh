@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Process-wide switch for the invariant-audit layer (src/verify).
+ *
+ * The audit hooks inside the accelerator models are compiled in
+ * unconditionally but cost a single relaxed atomic load when disabled.
+ * The compile-time default comes from the ANTSIM_AUDIT CMake option
+ * (on by default in Debug builds); tests force it on, and bench/example
+ * binaries expose it as the --audit flag.
+ *
+ * The switch lives in util (not verify) so that low-level libraries
+ * such as ant_conv can gate their own self-checks on it without a
+ * dependency cycle through the verify library.
+ */
+
+#ifndef ANTSIM_UTIL_AUDIT_HH
+#define ANTSIM_UTIL_AUDIT_HH
+
+namespace antsim {
+namespace audit {
+
+/** True when invariant audits should run. */
+bool enabled();
+
+/** Turn invariant audits on or off process-wide. */
+void setEnabled(bool on);
+
+} // namespace audit
+} // namespace antsim
+
+#endif // ANTSIM_UTIL_AUDIT_HH

@@ -1,35 +1,63 @@
 #include "counters.hh"
 
+#include <limits>
 #include <sstream>
 
 #include "logging.hh"
 
 namespace antsim {
 
+namespace {
+
+/**
+ * Name table indexed by the Counter enum. The array size is pinned to
+ * kNumCounters by the type, so adding an enumerator without a name (or
+ * vice versa) fails to compile; the static_asserts below keep the
+ * entries non-empty even if someone pads with nullptr or "".
+ */
+constexpr std::array<const char *, kNumCounters> kCounterNames = {
+    "mults_executed",     // MultsExecuted
+    "mults_valid",        // MultsValid
+    "mults_rcp",          // MultsRcp
+    "rcps_avoided",       // RcpsAvoided
+    "accum_adds",         // AccumAdds
+    "output_index_calcs", // OutputIndexCalcs
+    "index_compares",     // IndexCompares
+    "sram_value_reads",   // SramValueReads
+    "sram_index_reads",   // SramIndexReads
+    "sram_rowptr_reads",  // SramRowPtrReads
+    "sram_writes",        // SramWrites
+    "sram_reads_avoided", // SramReadsAvoided
+    "startup_cycles",     // StartupCycles
+    "active_cycles",      // ActiveCycles
+    "idle_scan_cycles",   // IdleScanCycles
+    "cycles",             // Cycles
+    "tasks_processed",    // TasksProcessed
+};
+
+static_assert(kCounterNames.size() == kNumCounters,
+              "counter name table out of sync with the Counter enum");
+
+constexpr bool
+allNamesNonEmpty()
+{
+    for (const char *name : kCounterNames) {
+        if (name == nullptr || name[0] == '\0')
+            return false;
+    }
+    return true;
+}
+
+static_assert(allNamesNonEmpty(), "every counter needs a non-empty name");
+
+} // namespace
+
 const char *
 counterName(Counter c)
 {
-    switch (c) {
-      case Counter::MultsExecuted: return "mults_executed";
-      case Counter::MultsValid: return "mults_valid";
-      case Counter::MultsRcp: return "mults_rcp";
-      case Counter::RcpsAvoided: return "rcps_avoided";
-      case Counter::AccumAdds: return "accum_adds";
-      case Counter::OutputIndexCalcs: return "output_index_calcs";
-      case Counter::IndexCompares: return "index_compares";
-      case Counter::SramValueReads: return "sram_value_reads";
-      case Counter::SramIndexReads: return "sram_index_reads";
-      case Counter::SramRowPtrReads: return "sram_rowptr_reads";
-      case Counter::SramWrites: return "sram_writes";
-      case Counter::SramReadsAvoided: return "sram_reads_avoided";
-      case Counter::StartupCycles: return "startup_cycles";
-      case Counter::ActiveCycles: return "active_cycles";
-      case Counter::IdleScanCycles: return "idle_scan_cycles";
-      case Counter::Cycles: return "cycles";
-      case Counter::TasksProcessed: return "tasks_processed";
-      case Counter::NumCounters: break;
-    }
-    ANT_PANIC("unknown counter id ", static_cast<unsigned>(c));
+    const auto index = static_cast<std::size_t>(c);
+    ANT_ASSERT(index < kNumCounters, "unknown counter id ", index);
+    return kCounterNames[index];
 }
 
 CounterSet &
@@ -44,13 +72,16 @@ void
 CounterSet::scale(std::uint64_t num, std::uint64_t den)
 {
     ANT_ASSERT(den > 0, "scale denominator must be positive");
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
     for (auto &v : values_) {
-        // Scale in floating point: counts here are statistical estimates
-        // when channel-pair sampling is active, so exactness in the low
-        // bits is not meaningful, but overflow safety is.
-        const double scaled = static_cast<double>(v) *
-            static_cast<double>(num) / static_cast<double>(den);
-        v = static_cast<std::uint64_t>(scaled + 0.5);
+        // Exact rational scaling with round-half-up in 128-bit
+        // intermediates: v * num cannot wrap, and a result that does
+        // not fit 64 bits is a hard error rather than a silent wrap.
+        const unsigned __int128 scaled =
+            (static_cast<unsigned __int128>(v) * num + den / 2) / den;
+        ANT_ASSERT(scaled <= kMax, "counter overflow scaling ", v, " by ",
+                   num, "/", den);
+        v = static_cast<std::uint64_t>(scaled);
     }
 }
 

@@ -5,6 +5,7 @@
 
 #include "sim/chunking.hh"
 #include "util/logging.hh"
+#include "verify/audit_hooks.hh"
 
 namespace antsim {
 
@@ -59,6 +60,7 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
 {
     ANT_ASSERT(config.sampleCap > 0, "sampleCap must be positive");
     NetworkStats stats;
+    std::uint64_t scaled_sets = 0;
 
     for (std::size_t li = 0; li < layers.size(); ++li) {
         const ConvLayer &layer = layers[li];
@@ -102,10 +104,17 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
                 }
             }
             ps.counters.scale(ps.pairsTotal, ps.pairsSimulated);
+            // Rational scaling rounds each counter independently, so
+            // the additive laws hold only up to a couple of counts.
+            verify::auditAggregateOrPanic("scaled phase counters",
+                                          ps.counters, /*slack=*/2);
+            ++scaled_sets;
             stats.total += ps.counters;
         }
         stats.layers.push_back(std::move(layer_stats));
     }
+    verify::auditAggregateOrPanic("conv network totals", stats.total,
+                                  2 * scaled_sets);
     return stats;
 }
 
@@ -129,6 +138,8 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
         stats.total += ps.counters;
         stats.layers.push_back(std::move(layer_stats));
     }
+    verify::auditAggregateOrPanic("matmul network totals", stats.total,
+                                  /*slack=*/0);
     return stats;
 }
 

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Compiled into every test binary: force the invariant audits on so
+ * each existing PE/runner/bench-path test self-checks its counter
+ * conservation laws regardless of build type (see src/verify).
+ */
+
+#include "util/audit.hh"
+
+namespace {
+
+[[maybe_unused]] const bool g_audit_forced =
+    (antsim::audit::setEnabled(true), true);
+
+} // namespace

@@ -68,6 +68,42 @@ TEST(Counters, ScaleRoundsToNearest)
     EXPECT_EQ(counters.get(Counter::MultsExecuted), 3u);
 }
 
+TEST(Counters, ScaleIsExactForLargeValues)
+{
+    // The old floating-point path lost the low bits of counts beyond
+    // 2^53; the 128-bit rational path must be exact.
+    CounterSet counters;
+    const std::uint64_t big = 1000000000000000003ull; // > 2^53, odd
+    counters.set(Counter::MultsExecuted, big);
+    counters.scale(1, 1);
+    EXPECT_EQ(counters.get(Counter::MultsExecuted), big);
+    counters.scale(3, 1);
+    EXPECT_EQ(counters.get(Counter::MultsExecuted), 3 * big);
+}
+
+TEST(Counters, ScaleIntermediateProductDoesNotWrap)
+{
+    // v * num would wrap 64-bit arithmetic; the result still fits.
+    CounterSet counters;
+    counters.set(Counter::Cycles, 1ull << 62);
+    counters.scale(6, 3);
+    EXPECT_EQ(counters.get(Counter::Cycles), 1ull << 63);
+}
+
+TEST(CountersDeathTest, ScalePanicsOnOverflowInsteadOfWrapping)
+{
+    CounterSet counters;
+    counters.set(Counter::Cycles, 1ull << 63);
+    EXPECT_DEATH(counters.scale(4, 2), "counter overflow scaling");
+}
+
+TEST(CountersDeathTest, ScalePanicsOnZeroDenominator)
+{
+    CounterSet counters;
+    EXPECT_DEATH(counters.scale(1, 0),
+                 "scale denominator must be positive");
+}
+
 TEST(Counters, ResetClearsAll)
 {
     CounterSet counters;
@@ -76,15 +112,24 @@ TEST(Counters, ResetClearsAll)
     EXPECT_EQ(counters.get(Counter::Cycles), 0u);
 }
 
-TEST(Counters, NamesAreUniqueAndNonNull)
+TEST(Counters, NamesAreUniqueAndNonEmpty)
 {
+    // The name table in counters.cc is static_assert-sized against the
+    // enum; this guards the run-time properties the asserts cannot see.
     std::set<std::string> names;
     for (std::size_t i = 0; i < kNumCounters; ++i) {
         const char *name = counterName(static_cast<Counter>(i));
         ASSERT_NE(name, nullptr);
+        EXPECT_NE(std::string(name), "");
         EXPECT_TRUE(names.insert(name).second)
             << "duplicate counter name " << name;
     }
+    EXPECT_EQ(names.size(), kNumCounters);
+}
+
+TEST(CountersDeathTest, NameOfOutOfRangeIdPanics)
+{
+    EXPECT_DEATH(counterName(Counter::NumCounters), "unknown counter id");
 }
 
 TEST(Counters, ToStringListsNonZeroOnly)
