@@ -19,7 +19,7 @@ parseOptions(int argc, const char *const *argv,
              const std::vector<std::string> &extra_flags, Cli **cli_out)
 {
     std::vector<std::string> known = {"samples", "seed", "pes", "csv",
-                                      "chunk", "audit"};
+                                      "chunk", "audit", "threads"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     g_cli = std::make_unique<Cli>(argc, argv, known);
 
@@ -31,6 +31,10 @@ parseOptions(int argc, const char *const *argv,
         static_cast<std::uint32_t>(g_cli->getInt("pes", 64));
     options.run.chunkCapacity =
         static_cast<std::uint32_t>(g_cli->getInt("chunk", 4096));
+    // Benches default to every hardware thread: the parallel engine is
+    // deterministic, so the tables cannot depend on the thread count.
+    options.run.numThreads =
+        static_cast<std::uint32_t>(g_cli->getInt("threads", 0));
     options.csv = g_cli->getBool("csv");
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);

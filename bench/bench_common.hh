@@ -9,6 +9,9 @@
  *   --samples N   plane pairs sampled per (layer, phase)  [default 16]
  *   --seed S      trace-generation seed                   [default 42]
  *   --pes N       number of PEs                           [default 64]
+ *   --threads N   simulation worker threads; 0 = all hardware threads
+ *                 [default 0]. Results are bit-identical for every
+ *                 value (deterministic parallel engine, DESIGN.md)
  *   --csv         additionally dump rows as CSV
  *   --audit       run the invariant audits (src/verify) on every
  *                 model execution; violations abort the bench

@@ -91,6 +91,12 @@ class AntPe : public PeModel
         return config_.n * config_.n;
     }
 
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<AntPe>(config_);
+    }
+
     const AntPeConfig &config() const { return config_; }
 
     PeResult runPair(const ProblemSpec &spec, const CsrMatrix &kernel,

@@ -6,6 +6,7 @@
 #include "ant/fnir.hh"
 #include "sim/clock.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "verify/audit_hooks.hh"
 
 namespace antsim {
@@ -201,7 +202,8 @@ AntPipelineModel::AntPipelineModel(const AntPeConfig &config)
 
 PipelineRunResult
 AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
-                      const CsrMatrix &image) const
+                      const CsrMatrix &image,
+                      std::uint32_t num_threads) const
 {
     ANT_ASSERT(spec.kind() == ProblemSpec::Kind::Conv,
                "the tick-accurate model covers convolutions");
@@ -212,8 +214,16 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
     // Pre-resolve the per-group plans (ranges + windowed candidates),
     // exactly the work stages 1-3 of the pipeline perform; the tick
     // simulation then exercises the scan/fetch/multiply/retire flow.
-    std::vector<GroupPlan> plans;
-    for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
+    // Plans are independent per group, so they are built in parallel;
+    // each lands in its own slot and the serial tick loop below reads
+    // them in group order, keeping the run bit-identical for every
+    // thread count.
+    const std::size_t group_count = (image_entries.size() + n - 1) / n;
+    std::vector<GroupPlan> plans(group_count);
+    ThreadPool plan_pool(num_threads);
+    plan_pool.parallelFor(0, group_count, /*grain=*/8, [&](
+                              std::uint64_t g, std::uint32_t) {
+        const std::size_t ib = static_cast<std::size_t>(g) * n;
         GroupPlan plan;
         plan.image_begin = ib;
         plan.image_end = std::min(ib + n, image_entries.size());
@@ -246,8 +256,8 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
                 }
             }
         }
-        plans.push_back(std::move(plan));
-    }
+        plans[g] = std::move(plan);
+    });
 
     PipelineRunResult result;
     CounterSet scratch;

@@ -58,6 +58,12 @@ class DenseInnerProductPe : public PeModel
         return config_.multipliers;
     }
 
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<DenseInnerProductPe>(config_);
+    }
+
     bool usesCompressedOperands() const override { return false; }
 
     PeResult runPair(const ProblemSpec &spec, const CsrMatrix &kernel,
@@ -88,6 +94,12 @@ class TensorDashPe : public PeModel
     multiplierCount() const override
     {
         return config_.multipliers;
+    }
+
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<TensorDashPe>(config_);
     }
 
     bool usesCompressedOperands() const override { return false; }

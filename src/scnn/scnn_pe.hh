@@ -54,6 +54,12 @@ class ScnnPe : public PeModel
         return config_.n * config_.n;
     }
 
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<ScnnPe>(config_);
+    }
+
     const ScnnPeConfig &config() const { return config_; }
 
     PeResult runPair(const ProblemSpec &spec, const CsrMatrix &kernel,

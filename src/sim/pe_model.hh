@@ -13,6 +13,7 @@
 #ifndef ANTSIM_SIM_PE_MODEL_HH
 #define ANTSIM_SIM_PE_MODEL_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ class PeModel
 
     /** Multipliers in this PE (for utilization metrics). */
     virtual std::uint32_t multiplierCount() const = 0;
+
+    /**
+     * Fresh replica of this PE with the same configuration and no
+     * shared mutable state. The parallel runner (workload/runner.cc)
+     * gives each worker thread its own replica; results must be
+     * bit-identical to the original's on identical inputs, which the
+     * determinism of the whole parallel engine rests on (clone_test
+     * and parallel_determinism_test enforce both properties).
+     */
+    virtual std::unique_ptr<PeModel> clone() const = 0;
 
     /**
      * Whether the PE streams compressed (CSR) operands through the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "sim/chunking.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "verify/audit_hooks.hh"
 
 namespace antsim {
@@ -29,6 +31,73 @@ runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
         total.add(Counter::TasksProcessed);
     }
     return total;
+}
+
+/**
+ * Per-worker PE replicas for the parallel engine. Worker 0 is the
+ * calling thread and keeps the caller's PE (so a 1-thread run
+ * simulates on the exact object it was handed); every other worker
+ * owns a clone() with no shared mutable state.
+ */
+class WorkerPes
+{
+  public:
+    WorkerPes(PeModel &pe, std::uint32_t worker_count) : pes_(worker_count)
+    {
+        pes_[0] = &pe;
+        clones_.reserve(worker_count - 1);
+        for (std::uint32_t w = 1; w < worker_count; ++w) {
+            clones_.push_back(pe.clone());
+            pes_[w] = clones_.back().get();
+        }
+    }
+
+    PeModel &operator[](std::uint32_t worker) const { return *pes_[worker]; }
+
+  private:
+    std::vector<PeModel *> pes_;
+    std::vector<std::unique_ptr<PeModel>> clones_;
+};
+
+/** One simulated (layer, phase, sample) unit of a conv network run. */
+struct ConvUnit
+{
+    std::uint32_t layer = 0;
+    std::uint32_t phase = 0;
+    /** Channel index the sample maps to (seeds the unit's trace). */
+    std::uint64_t taskIndex = 0;
+};
+
+/**
+ * Simulate one conv unit. Pure in (config, profile, layer, unit): all
+ * randomness descends from mixSeed, so the result is independent of
+ * which worker runs it and in what order.
+ */
+CounterSet
+runConvUnit(PeModel &pe, const ConvLayer &layer,
+            const SparsityProfile &profile, const RunConfig &config,
+            const ConvUnit &unit)
+{
+    CounterSet counters;
+    const auto phase = static_cast<TrainingPhase>(unit.phase);
+    Rng rng(mixSeed(config.seed, unit.layer, unit.phase, unit.taskIndex));
+    const StackTask task = makeConvPhaseTask(layer, phase, profile, rng);
+    const auto kernel_ptrs = task.kernelPtrs();
+
+    // Image chunking: the stationary image must fit the 8 KB buffer;
+    // each image chunk reloads the PE (its own start-up) and
+    // re-streams the kernel stack.
+    std::uint32_t capacity = config.chunkCapacity;
+    if (!pe.usesCompressedOperands())
+        capacity = std::numeric_limits<std::uint32_t>::max();
+    for (const CsrMatrix &image_chunk :
+         chunkByCapacity(task.image, capacity)) {
+        const PeResult r = pe.runStack(task.spec, kernel_ptrs, image_chunk,
+                                       /*collect_output=*/false);
+        counters += r.counters;
+        counters.add(Counter::TasksProcessed);
+    }
+    return counters;
 }
 
 } // namespace
@@ -60,13 +129,14 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
 {
     ANT_ASSERT(config.sampleCap > 0, "sampleCap must be positive");
     NetworkStats stats;
-    std::uint64_t scaled_sets = 0;
 
+    // Flatten the simulated units so the pool can schedule them freely;
+    // the per-layer/phase skeleton is laid down up front.
+    std::vector<ConvUnit> units;
     for (std::size_t li = 0; li < layers.size(); ++li) {
         const ConvLayer &layer = layers[li];
         LayerStats layer_stats;
         layer_stats.name = layer.name;
-
         for (unsigned pi = 0; pi < 3; ++pi) {
             if (!config.phases[pi])
                 continue;
@@ -78,31 +148,42 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
             ps.pairsTotal = stackTaskCount(layer, phase);
             ps.pairsSimulated = std::min<std::uint64_t>(
                 ps.pairsTotal, config.sampleCap);
-
             for (std::uint64_t s = 0; s < ps.pairsSimulated; ++s) {
                 // Spread samples evenly across the channel axis.
-                const std::uint64_t task_index =
-                    s * ps.pairsTotal / ps.pairsSimulated;
-                Rng rng(mixSeed(config.seed, li, pi, task_index));
-                const StackTask task =
-                    makeConvPhaseTask(layer, phase, profile, rng);
-                const auto kernel_ptrs = task.kernelPtrs();
-
-                // Image chunking: the stationary image must fit the
-                // 8 KB buffer; each image chunk reloads the PE (its
-                // own start-up) and re-streams the kernel stack.
-                std::uint32_t capacity = config.chunkCapacity;
-                if (!pe.usesCompressedOperands())
-                    capacity = std::numeric_limits<std::uint32_t>::max();
-                for (const CsrMatrix &image_chunk :
-                     chunkByCapacity(task.image, capacity)) {
-                    const PeResult r =
-                        pe.runStack(task.spec, kernel_ptrs, image_chunk,
-                                    /*collect_output=*/false);
-                    ps.counters += r.counters;
-                    ps.counters.add(Counter::TasksProcessed);
-                }
+                units.push_back({static_cast<std::uint32_t>(li), pi,
+                                 s * ps.pairsTotal / ps.pairsSimulated});
             }
+        }
+        stats.layers.push_back(std::move(layer_stats));
+    }
+
+    // Simulate every unit on a worker-private PE replica. Each unit's
+    // counters land in the slot keyed by its task index, so nothing
+    // downstream depends on scheduling.
+    std::vector<CounterSet> unit_counters(units.size());
+    ThreadPool pool(config.numThreads);
+    const WorkerPes worker_pes(pe, pool.threadCount());
+    pool.parallelFor(0, units.size(), /*grain=*/1,
+                     [&](std::uint64_t i, std::uint32_t worker) {
+                         unit_counters[i] = runConvUnit(
+                             worker_pes[worker],
+                             layers[units[i].layer], profile, config,
+                             units[i]);
+                     });
+
+    // Ordered reduction: fold the per-unit counters back into the
+    // (layer, phase) skeleton in task-index order -- the exact order
+    // the serial loop accumulated them -- then scale and audit each
+    // phase as before. Bit-identical for every thread count.
+    std::uint64_t scaled_sets = 0;
+    std::size_t next_unit = 0;
+    for (LayerStats &layer_stats : stats.layers) {
+        for (unsigned pi = 0; pi < 3; ++pi) {
+            if (!config.phases[pi])
+                continue;
+            PhaseStats &ps = layer_stats.phases[pi];
+            for (std::uint64_t s = 0; s < ps.pairsSimulated; ++s)
+                ps.counters += unit_counters[next_unit++];
             ps.counters.scale(ps.pairsTotal, ps.pairsSimulated);
             // Rational scaling rounds each counter independently, so
             // the additive laws hold only up to a couple of counts.
@@ -111,8 +192,9 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
             ++scaled_sets;
             stats.total += ps.counters;
         }
-        stats.layers.push_back(std::move(layer_stats));
     }
+    ANT_ASSERT(next_unit == units.size(),
+               "parallel reduction consumed every unit exactly once");
     verify::auditAggregateOrPanic("conv network totals", stats.total,
                                   2 * scaled_sets);
     return stats;
@@ -124,17 +206,26 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
                  const RunConfig &config)
 {
     NetworkStats stats;
+    std::vector<CounterSet> layer_counters(layers.size());
+    ThreadPool pool(config.numThreads);
+    const WorkerPes worker_pes(pe, pool.threadCount());
+    pool.parallelFor(
+        0, layers.size(), /*grain=*/1,
+        [&](std::uint64_t li, std::uint32_t worker) {
+            Rng rng(mixSeed(config.seed, li, 0, 0));
+            const PlanePair pair =
+                makeMatmulPair(layers[li], sparsity, method, rng);
+            layer_counters[li] = runPlanePair(worker_pes[worker], pair,
+                                              config.chunkCapacity);
+        });
+
     for (std::size_t li = 0; li < layers.size(); ++li) {
         LayerStats layer_stats;
         layer_stats.name = layers[li].name;
         PhaseStats &ps = layer_stats.phases[0];
         ps.pairsTotal = 1;
         ps.pairsSimulated = 1;
-
-        Rng rng(mixSeed(config.seed, li, 0, 0));
-        const PlanePair pair =
-            makeMatmulPair(layers[li], sparsity, method, rng);
-        ps.counters += runPlanePair(pe, pair, config.chunkCapacity);
+        ps.counters += layer_counters[li];
         stats.total += ps.counters;
         stats.layers.push_back(std::move(layer_stats));
     }

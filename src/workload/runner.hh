@@ -13,6 +13,12 @@
  * assumption (Sec. 6.1): accelCycles = ceil(sum of PE task cycles /
  * numPes). Speedup and relative energy between two runs are therefore
  * ratios of summed PE cycles / energies.
+ *
+ * Execution is parallel when RunConfig::numThreads != 1: the sampled
+ * (layer, phase, sample) units are scheduled across a ThreadPool,
+ * each worker simulates on its own PeModel::clone(), and the per-unit
+ * CounterSets are reduced in task-index order -- so NetworkStats is
+ * bit-identical for every thread count (parallel_determinism_test).
  */
 
 #ifndef ANTSIM_WORKLOAD_RUNNER_HH
@@ -43,6 +49,16 @@ struct RunConfig
     std::uint32_t chunkCapacity = 4096;
     /** Which phases to simulate (Forward, Backward, Update). */
     std::array<bool, 3> phases = {true, true, true};
+    /**
+     * Worker threads for the parallel engine: 0 selects
+     * hardware_concurrency, 1 (the default) runs inline on the calling
+     * thread. Results are bit-identical for every value -- each
+     * simulated (layer, phase, sample) unit is a pure function of the
+     * seed hierarchy, each worker runs on a private PeModel::clone(),
+     * and per-unit counters are reduced in task-index order (see
+     * DESIGN.md "Parallel execution model").
+     */
+    std::uint32_t numThreads = 1;
 };
 
 /** Aggregated statistics of one (layer, phase). */

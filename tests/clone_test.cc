@@ -1,0 +1,196 @@
+/**
+ * @file
+ * PeModel::clone() contract tests: a replica carries the same
+ * configuration, reports identical counters on identical inputs, and
+ * shares no mutable state with the original -- the properties the
+ * parallel runner's clone-per-worker scheme depends on. Audits are
+ * forced on (audit_env.cc), so the concurrent runs also exercise the
+ * audit hooks on every replica.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ant/ant_pe.hh"
+#include "baselines/inner_product.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+#include "workload/tracegen.hh"
+
+namespace antsim {
+namespace {
+
+std::vector<std::unique_ptr<PeModel>>
+allPeModels()
+{
+    std::vector<std::unique_ptr<PeModel>> pes;
+    pes.push_back(std::make_unique<ScnnPe>());
+    pes.push_back(std::make_unique<AntPe>());
+    pes.push_back(std::make_unique<DenseInnerProductPe>());
+    pes.push_back(std::make_unique<TensorDashPe>());
+    return pes;
+}
+
+/** A representative update-phase pair (the RCP-heavy regime). */
+PlanePair
+testPair(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return makeConvPhasePair(ConvLayer{"c", 8, 8, 24, 24, 3, 1, 1},
+                             TrainingPhase::Update,
+                             SparsityProfile::swat(0.9), rng);
+}
+
+void
+expectIdenticalCounters(const CounterSet &expected, const CounterSet &got,
+                        const std::string &context)
+{
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        const auto counter = static_cast<Counter>(c);
+        EXPECT_EQ(expected.get(counter), got.get(counter))
+            << context << ": " << counterName(counter);
+    }
+}
+
+TEST(Clone, PreservesIdentity)
+{
+    for (const auto &pe : allPeModels()) {
+        const auto replica = pe->clone();
+        ASSERT_NE(replica, nullptr);
+        EXPECT_NE(replica.get(), pe.get());
+        EXPECT_EQ(replica->name(), pe->name());
+        EXPECT_EQ(replica->multiplierCount(), pe->multiplierCount());
+        EXPECT_EQ(replica->usesCompressedOperands(),
+                  pe->usesCompressedOperands());
+    }
+}
+
+TEST(Clone, RunPairCountersMatchOriginal)
+{
+    const PlanePair pair = testPair(11);
+    for (const auto &pe : allPeModels()) {
+        const auto replica = pe->clone();
+        const PeResult original =
+            pe->runPair(pair.spec, pair.kernel, pair.image, false);
+        const PeResult cloned =
+            replica->runPair(pair.spec, pair.kernel, pair.image, false);
+        expectIdenticalCounters(original.counters, cloned.counters,
+                                pe->name());
+    }
+}
+
+TEST(Clone, RunStackCountersMatchOriginal)
+{
+    Rng rng(23);
+    const StackTask task = makeConvPhaseTask(
+        ConvLayer{"s", 4, 8, 16, 16, 3, 1, 1}, TrainingPhase::Forward,
+        SparsityProfile::swat(0.9), rng);
+    const auto kernels = task.kernelPtrs();
+    for (const auto &pe : allPeModels()) {
+        const auto replica = pe->clone();
+        const PeResult original =
+            pe->runStack(task.spec, kernels, task.image, false);
+        const PeResult cloned =
+            replica->runStack(task.spec, kernels, task.image, false);
+        expectIdenticalCounters(original.counters, cloned.counters,
+                                pe->name());
+    }
+}
+
+TEST(Clone, PreservesNonDefaultConfig)
+{
+    AntPeConfig config;
+    config.n = 2;
+    config.k = 8;
+    config.useSCondition = false;
+    const AntPe ant(config);
+    const auto replica = ant.clone();
+    const auto *replica_ant = dynamic_cast<const AntPe *>(replica.get());
+    ASSERT_NE(replica_ant, nullptr);
+    EXPECT_EQ(replica_ant->config().n, config.n);
+    EXPECT_EQ(replica_ant->config().k, config.k);
+    EXPECT_EQ(replica_ant->config().useRCondition, config.useRCondition);
+    EXPECT_EQ(replica_ant->config().useSCondition, config.useSCondition);
+
+    const PlanePair pair = testPair(31);
+    const PeResult a = AntPe(config).runPair(pair.spec, pair.kernel,
+                                             pair.image, false);
+    auto replica_mut = ant.clone();
+    const PeResult b =
+        replica_mut->runPair(pair.spec, pair.kernel, pair.image, false);
+    expectIdenticalCounters(a.counters, b.counters, "configured ANT");
+}
+
+TEST(Clone, CloneOfCloneStillMatches)
+{
+    const PlanePair pair = testPair(47);
+    for (const auto &pe : allPeModels()) {
+        const auto second = pe->clone()->clone();
+        const PeResult original =
+            pe->runPair(pair.spec, pair.kernel, pair.image, false);
+        const PeResult twice =
+            second->runPair(pair.spec, pair.kernel, pair.image, false);
+        expectIdenticalCounters(original.counters, twice.counters,
+                                pe->name());
+    }
+}
+
+TEST(Clone, NoSharedMutableState)
+{
+    // Original and replica execute concurrently, audits on; each must
+    // still report the single-threaded reference counters. Run under
+    // TSan (ANTSIM_SANITIZE=thread, CI tsan job) this also proves the
+    // absence of data races between replicas.
+    const PlanePair pair_a = testPair(53);
+    const PlanePair pair_b = testPair(59);
+    for (const auto &pe : allPeModels()) {
+        const PeResult ref_a =
+            pe->runPair(pair_a.spec, pair_a.kernel, pair_a.image, false);
+        const PeResult ref_b =
+            pe->runPair(pair_b.spec, pair_b.kernel, pair_b.image, false);
+
+        const auto replica = pe->clone();
+        PeResult got_a;
+        PeResult got_b;
+        std::thread original_thread([&] {
+            for (int i = 0; i < 5; ++i)
+                got_a = pe->runPair(pair_a.spec, pair_a.kernel,
+                                    pair_a.image, false);
+        });
+        std::thread replica_thread([&] {
+            for (int i = 0; i < 5; ++i)
+                got_b = replica->runPair(pair_b.spec, pair_b.kernel,
+                                         pair_b.image, false);
+        });
+        original_thread.join();
+        replica_thread.join();
+        expectIdenticalCounters(ref_a.counters, got_a.counters,
+                                pe->name() + " original");
+        expectIdenticalCounters(ref_b.counters, got_b.counters,
+                                pe->name() + " replica");
+    }
+}
+
+TEST(Clone, ParallelRunnerUsesReplicas)
+{
+    // End-to-end: the parallel runner must give byte-identical network
+    // stats whether workers share nothing (clones) or the serial path
+    // reuses the original -- the contract that lets it parallelize.
+    ScnnPe pe;
+    RunConfig config;
+    config.sampleCap = 2;
+    const std::vector<ConvLayer> net = {{"l0", 4, 8, 16, 16, 3, 1, 1}};
+    config.numThreads = 1;
+    const auto serial =
+        runConvNetwork(pe, net, SparsityProfile::swat(0.9), config);
+    config.numThreads = 4;
+    const auto parallel =
+        runConvNetwork(pe, net, SparsityProfile::swat(0.9), config);
+    expectIdenticalCounters(serial.total, parallel.total, "runner");
+}
+
+} // namespace
+} // namespace antsim

@@ -125,6 +125,41 @@ TEST(PaperRegression, Figure14AblationOrdering)
     EXPECT_LT(gain, 1.5);
 }
 
+TEST(PaperRegression, GoldenParallelResNet18DensityPoints)
+{
+    // Golden-value lock on the *parallel* path (numThreads = 4): ANT
+    // vs SCNN+ speedup and RCP-avoided fraction on ResNet18 at the
+    // paper's density points (10/20/50% density). The engine is
+    // deterministic, so these reproduce to double precision on any
+    // machine and any thread count; if they move, either the model or
+    // the parallel reduction changed.
+    struct GoldenPoint
+    {
+        double sparsity;
+        double speedup;
+        double rcpAvoided;
+    };
+    const GoldenPoint golden[] = {
+        {0.9, 3.86631132721166, 0.889537046896049},
+        {0.8, 6.29557219450641, 0.90622396381939},
+        {0.5, 8.57919770078069, 0.936087528738366},
+    };
+    RunConfig cfg = fastConfig();
+    cfg.numThreads = 4;
+    const auto layers = resnet18Cifar();
+    for (const GoldenPoint &point : golden) {
+        ScnnPe scnn;
+        AntPe ant;
+        const auto profile = SparsityProfile::swat(point.sparsity);
+        const auto s = runConvNetwork(scnn, layers, profile, cfg);
+        const auto a = runConvNetwork(ant, layers, profile, cfg);
+        EXPECT_NEAR(speedupOf(s, a), point.speedup, 1e-9)
+            << "sparsity " << point.sparsity;
+        EXPECT_NEAR(a.rcpAvoidedFraction(), point.rcpAvoided, 1e-9)
+            << "sparsity " << point.sparsity;
+    }
+}
+
 TEST(PaperRegression, SmallLayerOverheadExists)
 {
     // Paper Sec. 7.6: on very small layers ANT can slow down (up to
