@@ -58,5 +58,5 @@ main(int argc, char **argv)
     bench::emitTable(table, options);
     std::printf("counters are energy-table-independent; only the "
                 "attribution changes across rows.\n");
-    return 0;
+    return bench::finish(options);
 }

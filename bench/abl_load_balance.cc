@@ -91,5 +91,5 @@ main(int argc, char **argv)
     bench::emitTable(table, options);
     std::printf("note: sampled tasks only -- the full task count per "
                 "layer would smooth LPT further.\n");
-    return 0;
+    return bench::finish(options);
 }

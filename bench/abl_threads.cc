@@ -104,12 +104,18 @@ main(int argc, char **argv)
                           Table::percent(speedup / threads, 1),
                           std::to_string(
                               stats.total.get(Counter::Cycles))});
+            const std::string prefix =
+                std::string(name) + ".t" + std::to_string(threads);
+            bench::reportMetric(prefix + ".wall_seconds", wall);
+            bench::reportMetric(prefix + ".speedup", speedup);
         }
+        bench::reportNetwork(std::string(name) + "/resnet18",
+                             serial_stats, options);
     }
     bench::emitTable(table, options);
 
     std::printf("note: counters are bit-identical at every point by "
                 "construction; wall-clock speedup tracks physical "
                 "cores.\n");
-    return 0;
+    return bench::finish(options);
 }

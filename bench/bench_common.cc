@@ -1,9 +1,13 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <sstream>
 
+#include "sim/energy.hh"
 #include "util/audit.hh"
+#include "util/logging.hh"
 
 namespace antsim {
 namespace bench {
@@ -11,6 +15,29 @@ namespace bench {
 namespace {
 
 std::unique_ptr<Cli> g_cli;
+RunReport g_report;
+/** Experiment id of the last printHeader, names recorded tables. */
+std::string g_experiment = "run";
+std::size_t g_tables_emitted = 0;
+
+std::string
+basenameOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Read a flag that must be a non-negative integer fitting uint32. */
+std::uint32_t
+getCount(const Cli &cli, const std::string &name, std::uint32_t fallback)
+{
+    const std::int64_t v = cli.getInt(name, fallback);
+    if (v < 0)
+        ANT_FATAL("flag --", name, " must be non-negative, got ", v);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        ANT_FATAL("flag --", name, " value ", v, " is too large");
+    return static_cast<std::uint32_t>(v);
+}
 
 } // namespace
 
@@ -18,28 +45,56 @@ BenchOptions
 parseOptions(int argc, const char *const *argv,
              const std::vector<std::string> &extra_flags, Cli **cli_out)
 {
-    std::vector<std::string> known = {"samples", "seed", "pes", "csv",
-                                      "chunk", "audit", "threads"};
+    std::vector<std::string> known = {"samples", "seed",    "pes",
+                                      "csv",     "chunk",   "audit",
+                                      "threads", "json",    "networks"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     g_cli = std::make_unique<Cli>(argc, argv, known);
 
     BenchOptions options;
-    options.run.sampleCap =
-        static_cast<std::uint32_t>(g_cli->getInt("samples", 16));
-    options.run.seed = static_cast<std::uint64_t>(g_cli->getInt("seed", 42));
-    options.run.numPes =
-        static_cast<std::uint32_t>(g_cli->getInt("pes", 64));
-    options.run.chunkCapacity =
-        static_cast<std::uint32_t>(g_cli->getInt("chunk", 4096));
+    options.run.sampleCap = getCount(*g_cli, "samples", 16);
+    const std::int64_t seed = g_cli->getInt("seed", 42);
+    if (seed < 0)
+        ANT_FATAL("flag --seed must be non-negative, got ", seed);
+    options.run.seed = static_cast<std::uint64_t>(seed);
+    options.run.numPes = getCount(*g_cli, "pes", 64);
+    options.run.chunkCapacity = getCount(*g_cli, "chunk", 4096);
     // Benches default to every hardware thread: the parallel engine is
     // deterministic, so the tables cannot depend on the thread count.
-    options.run.numThreads =
-        static_cast<std::uint32_t>(g_cli->getInt("threads", 0));
-    options.csv = g_cli->getBool("csv");
+    options.run.numThreads = getCount(*g_cli, "threads", 0);
+    options.run.validate();
+
+    // Bare --csv keeps the historical print-to-stdout behaviour; a
+    // value is the output path. ("true" cannot be a path: flag values
+    // never get that spelling from a real file name.)
+    if (g_cli->has("csv")) {
+        const std::string value = g_cli->get("csv");
+        if (value == "true")
+            options.csv = true;
+        else
+            options.csvPath = value;
+    }
+    if (g_cli->has("json")) {
+        options.jsonPath = g_cli->get("json");
+        if (options.jsonPath == "true")
+            ANT_FATAL("flag --json expects an output path");
+    }
+    options.networksFilter = g_cli->get("networks");
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);
     if (cli_out != nullptr)
         *cli_out = g_cli.get();
+
+    RunMetadata metadata;
+    metadata.binary = argc > 0 ? basenameOf(argv[0]) : "unknown";
+    metadata.seed = options.run.seed;
+    metadata.threads = options.run.numThreads;
+    metadata.pes = options.run.numPes;
+    metadata.samples = options.run.sampleCap;
+    metadata.chunk = options.run.chunkCapacity;
+    metadata.audit = audit::enabled();
+    metadata.energyTableVersion = kEnergyTableVersion;
+    g_report.setMetadata(std::move(metadata));
     return options;
 }
 
@@ -48,6 +103,7 @@ printHeader(const std::string &experiment, const std::string &paper_claim)
 {
     std::printf("=== %s ===\n", experiment.c_str());
     std::printf("paper: %s\n\n", paper_claim.c_str());
+    g_experiment = experiment;
 }
 
 void
@@ -59,6 +115,12 @@ emitTable(const Table &table, const BenchOptions &options)
     }
     std::printf("\n");
     std::fflush(stdout);
+
+    ++g_tables_emitted;
+    std::string name = g_experiment;
+    if (g_tables_emitted > 1)
+        name += " #" + std::to_string(g_tables_emitted);
+    g_report.addTable(name, table);
 }
 
 NetworkStats
@@ -69,6 +131,94 @@ runNetwork(PeModel &pe, const NamedNetwork &network, double target_sparsity,
         ? SparsityProfile::topK(target_sparsity)
         : SparsityProfile::swat(target_sparsity);
     return runConvNetwork(pe, network.layers, profile, config);
+}
+
+RunReport &
+report()
+{
+    return g_report;
+}
+
+void
+reportMetric(const std::string &name, double value)
+{
+    g_report.addMetric(name, value);
+}
+
+void
+reportMetric(const std::string &name, std::uint64_t value)
+{
+    g_report.addMetric(name, value);
+}
+
+void
+reportNetwork(const std::string &name, const NetworkStats &stats,
+              const BenchOptions &options)
+{
+    g_report.addNetwork(name, stats, options.run.numPes);
+}
+
+std::vector<NamedNetwork>
+selectNetworks(std::vector<NamedNetwork> all, const BenchOptions &options)
+{
+    if (options.networksFilter.empty())
+        return all;
+
+    auto available = [&all] {
+        std::string names;
+        for (const NamedNetwork &network : all) {
+            if (!names.empty())
+                names += ", ";
+            names += network.name;
+        }
+        return names;
+    };
+
+    std::vector<NamedNetwork> selected;
+    std::istringstream filter(options.networksFilter);
+    std::string wanted;
+    while (std::getline(filter, wanted, ',')) {
+        if (wanted.empty())
+            continue;
+        bool found = false;
+        for (const NamedNetwork &network : all) {
+            if (network.name == wanted) {
+                selected.push_back(network);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            ANT_FATAL("--networks names unknown network '", wanted,
+                      "'; available: ", available());
+    }
+    // Zero selected networks would otherwise die much later as a
+    // geomean/mean assertion over an empty measurement set.
+    if (selected.empty())
+        ANT_FATAL("--networks '", options.networksFilter,
+                  "' selects no networks; available: ", available());
+    return selected;
+}
+
+int
+finish(const BenchOptions &options)
+{
+    // Audit state can change after parseOptions (ANTSIM_AUDIT builds,
+    // test harnesses); re-snapshot it so the report tells the truth.
+    RunMetadata metadata = g_report.metadata();
+    metadata.audit = audit::enabled();
+    g_report.setMetadata(std::move(metadata));
+
+    if (!options.jsonPath.empty()) {
+        g_report.writeJson(options.jsonPath);
+        std::printf("[report] wrote %s\n", options.jsonPath.c_str());
+    }
+    if (!options.csvPath.empty()) {
+        g_report.writeCsv(options.csvPath);
+        std::printf("[report] wrote %s\n", options.csvPath.c_str());
+    }
+    std::fflush(stdout);
+    return 0;
 }
 
 } // namespace bench

@@ -12,9 +12,19 @@
  *   --threads N   simulation worker threads; 0 = all hardware threads
  *                 [default 0]. Results are bit-identical for every
  *                 value (deterministic parallel engine, DESIGN.md)
- *   --csv         additionally dump rows as CSV
+ *   --csv [path]  dump rows as CSV: bare --csv prints to stdout,
+ *                 --csv out.csv writes the file
+ *   --json path   write the structured run report (src/report,
+ *                 docs/report_schema.json) to @p path
+ *   --networks A,B  restrict network-suite benches to the named
+ *                 networks; an empty selection is a fatal error
  *   --audit       run the invariant audits (src/verify) on every
  *                 model execution; violations abort the bench
+ *
+ * Besides printing, every table, key metric, and network run is
+ * recorded in a process-wide RunReport; main() ends with
+ * `return bench::finish(options);` which writes the --json/--csv
+ * outputs (including the stage-profiler section, report/profiler.hh).
  */
 
 #ifndef ANTSIM_BENCH_BENCH_COMMON_HH
@@ -23,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "report/report.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
@@ -34,7 +45,14 @@ namespace bench {
 struct BenchOptions
 {
     RunConfig run;
+    /** Print each table's CSV to stdout (bare --csv). */
     bool csv = false;
+    /** Write the merged CSV here when non-empty (--csv path). */
+    std::string csvPath;
+    /** Write the JSON run report here when non-empty (--json path). */
+    std::string jsonPath;
+    /** Comma-separated network-name filter (--networks). */
+    std::string networksFilter;
 };
 
 /**
@@ -49,12 +67,40 @@ BenchOptions parseOptions(int argc, const char *const *argv,
 void printHeader(const std::string &experiment,
                  const std::string &paper_claim);
 
-/** Print a table, optionally followed by its CSV form. */
+/**
+ * Print a table, optionally followed by its CSV form, and record it
+ * in the run report under the current experiment header.
+ */
 void emitTable(const Table &table, const BenchOptions &options);
 
 /** Memoized network stats: run a PE model over a named network. */
 NetworkStats runNetwork(PeModel &pe, const NamedNetwork &network,
                         double target_sparsity, const RunConfig &config);
+
+/** The process-wide run report the binary accumulates into. */
+RunReport &report();
+
+/** Record a named scalar result in the run report. */
+void reportMetric(const std::string &name, double value);
+void reportMetric(const std::string &name, std::uint64_t value);
+
+/** Record a full network run in the run report. */
+void reportNetwork(const std::string &name, const NetworkStats &stats,
+                   const BenchOptions &options);
+
+/**
+ * Apply the --networks filter to a network suite. Unknown names and
+ * an empty selection are fatal (they would otherwise surface much
+ * later as an assertion inside geomean/mean over zero measurements).
+ */
+std::vector<NamedNetwork> selectNetworks(std::vector<NamedNetwork> all,
+                                         const BenchOptions &options);
+
+/**
+ * Finalize the run: write --json / --csv outputs. Every bench main()
+ * returns this. Always 0 (failures are fatal).
+ */
+int finish(const BenchOptions &options);
 
 } // namespace bench
 } // namespace antsim

@@ -115,5 +115,5 @@ main(int argc, char **argv)
 
     std::printf("takeaway: the G_A*A rows' 'RCP share of non-zero' is the "
                 "paper's headline (up to 96%%).\n");
-    return 0;
+    return bench::finish(options);
 }

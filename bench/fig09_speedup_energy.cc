@@ -37,7 +37,8 @@ main(int argc, char **argv)
     std::vector<double> speedups;
     std::vector<double> energy_ratios;
 
-    for (const auto &network : figure9Networks()) {
+    for (const auto &network :
+         bench::selectNetworks(figure9Networks(), options)) {
         const auto scnn_stats =
             bench::runNetwork(scnn, network, 0.9, options.run);
         const auto ant_stats =
@@ -49,12 +50,18 @@ main(int argc, char **argv)
         table.addRow({network.name, Table::times(speedup),
                       Table::times(ratio),
                       Table::percent(ant_stats.rcpAvoidedFraction(), 1)});
+        bench::reportMetric("speedup." + network.name, speedup);
+        bench::reportMetric("energy_reduction." + network.name, ratio);
+        bench::reportNetwork("scnn/" + network.name, scnn_stats, options);
+        bench::reportNetwork("ant/" + network.name, ant_stats, options);
     }
+    bench::reportMetric("speedup_geomean", geomean(speedups));
+    bench::reportMetric("energy_reduction_geomean", geomean(energy_ratios));
     table.addRow({"geomean", Table::times(geomean(speedups)),
                   Table::times(geomean(energy_ratios)), "-"});
     bench::emitTable(table, options);
 
     std::printf("paper reference: geomean 3.71x speedup / 4.40x energy; "
                 "per-network RCP avoidance 74.9-98.0%%.\n");
-    return 0;
+    return bench::finish(options);
 }

@@ -59,5 +59,5 @@ main(int argc, char **argv)
                                                  energy))});
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

@@ -55,5 +55,5 @@ main(int argc, char **argv)
              Table::percent(ant_stats.rcpAvoidedFraction(), 1)});
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

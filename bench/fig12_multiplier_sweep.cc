@@ -50,5 +50,5 @@ main(int argc, char **argv)
              Table::times(energyRatioOf(scnn_stats, ant_stats, energy))});
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

@@ -68,5 +68,5 @@ main(int argc, char **argv)
     bench::emitTable(table, options);
     std::printf("both-vs-r-only improvement: %.2fx (paper: ~1.06x)\n",
                 both_speedup / r_only_speedup);
-    return 0;
+    return bench::finish(options);
 }

@@ -41,5 +41,5 @@ main(int argc, char **argv)
         }
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

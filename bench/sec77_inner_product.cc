@@ -37,7 +37,8 @@ main(int argc, char **argv)
                  "ANT vs dense", "ANT vs TensorDash"});
     std::vector<double> td_over_dense;
     std::vector<double> ant_over_td;
-    for (const auto &network : figure9Networks()) {
+    for (const auto &network :
+         bench::selectNetworks(figure9Networks(), options)) {
         const auto dense_stats =
             bench::runNetwork(dense, network, 0.9, options.run);
         const auto td_stats =
@@ -59,5 +60,5 @@ main(int argc, char **argv)
     table.addRow({"geomean", Table::times(geomean(td_over_dense)), "-",
                   "-", Table::times(geomean(ant_over_td))});
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

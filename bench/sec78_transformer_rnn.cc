@@ -60,5 +60,5 @@ main(int argc, char **argv)
         }
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

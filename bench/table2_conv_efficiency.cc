@@ -37,5 +37,5 @@ main(int argc, char **argv)
                       Table::percent(row.efficiency)});
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

@@ -34,5 +34,5 @@ main(int argc, char **argv)
             {row.phase, i.str(), k.str(), Table::percent(row.efficiency)});
     }
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

@@ -27,7 +27,8 @@ main(int argc, char **argv)
     Table table({"Network", "RCPs avoided", "residual RCP mults",
                  "avoided RCP mults"});
     std::vector<double> fractions;
-    for (const auto &network : figure9Networks()) {
+    for (const auto &network :
+         bench::selectNetworks(figure9Networks(), options)) {
         const auto stats = bench::runNetwork(ant, network, 0.9,
                                              options.run);
         fractions.push_back(stats.rcpAvoidedFraction());
@@ -35,8 +36,12 @@ main(int argc, char **argv)
             {network.name, Table::percent(stats.rcpAvoidedFraction(), 1),
              std::to_string(stats.total.get(Counter::MultsRcp)),
              std::to_string(stats.total.get(Counter::RcpsAvoided))});
+        bench::reportMetric("rcp_avoided." + network.name,
+                            stats.rcpAvoidedFraction());
+        bench::reportNetwork("ant/" + network.name, stats, options);
     }
+    bench::reportMetric("rcp_avoided_mean", mean(fractions));
     table.addRow({"mean", Table::percent(mean(fractions), 1), "-", "-"});
     bench::emitTable(table, options);
-    return 0;
+    return bench::finish(options);
 }

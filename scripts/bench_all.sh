@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Run the headline benchmark suite (fig09 speedup/energy, table5 RCP
+# avoidance, abl_threads scaling), collecting each binary's structured
+# --json report, then merge them into a single BENCH_antsim.json at the
+# repo root and validate it against docs/report_schema.json.
+#
+# Usage: scripts/bench_all.sh [--smoke] [build-dir]
+#   --smoke    tiny configuration (2 samples, 2 threads) for CI: same
+#              code paths and schema, seconds instead of minutes.
+#   build-dir  defaults to ./build; must already contain the bench
+#              binaries (cmake -B build -S . && cmake --build build).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+smoke=0
+build_dir="${repo_root}/build"
+for arg in "$@"; do
+    case "${arg}" in
+    --smoke) smoke=1 ;;
+    --help | -h)
+        sed -n '2,12p' "$0"
+        exit 0
+        ;;
+    *) build_dir="${arg}" ;;
+    esac
+done
+
+bench_dir="${build_dir}/bench"
+if [ ! -x "${bench_dir}/fig09_speedup_energy" ]; then
+    echo "bench_all: no bench binaries in ${bench_dir};" \
+        "build first (cmake -B build -S . && cmake --build build)" >&2
+    exit 1
+fi
+
+report_dir="${build_dir}/report"
+mkdir -p "${report_dir}"
+
+# --smoke trades statistical weight (fewer image samples) for speed;
+# the counters stay exact and deterministic either way.
+flags=()
+merge_flags=()
+if [ "${smoke}" -eq 1 ]; then
+    flags+=(--samples 2 --threads 2)
+    merge_flags+=(--smoke)
+    echo "bench_all: smoke configuration (2 samples, 2 threads)"
+fi
+
+suite=(fig09_speedup_energy table5_rcp_avoided abl_threads)
+for bench in "${suite[@]}"; do
+    echo "bench_all: running ${bench}"
+    "${bench_dir}/${bench}" "${flags[@]}" \
+        --json "${report_dir}/${bench}.json" \
+        --csv "${report_dir}/${bench}.csv" \
+        >"${report_dir}/${bench}.log"
+done
+
+merged="${repo_root}/BENCH_antsim.json"
+python3 "${repo_root}/scripts/merge_reports.py" "${merged}" \
+    "${merge_flags[@]}" \
+    "${report_dir}/fig09_speedup_energy.json" \
+    "${report_dir}/table5_rcp_avoided.json" \
+    "${report_dir}/abl_threads.json"
+python3 "${repo_root}/scripts/validate_report.py" \
+    "${repo_root}/docs/report_schema.json" "${merged}"
+
+echo "bench_all: done. merged report: ${merged}"

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against docs/report_schema.json.
+
+Usage: validate_report.py SCHEMA.json DOCUMENT.json
+
+Implements the small, self-contained subset of JSON Schema the report
+schema actually uses -- type, properties, required, items,
+additionalProperties, enum, minimum, and local $ref -- because the CI
+containers have no jsonschema package and must not install one.
+Exits 0 when the document conforms, 1 with every violation listed
+otherwise.
+"""
+
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is a subclass of int in Python; keep the two distinct so a
+    # schema asking for an integer rejects true/false.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class Validator:
+    def __init__(self, schema):
+        self.root = schema
+        self.errors = []
+
+    def resolve(self, ref):
+        if not ref.startswith("#/"):
+            raise ValueError("only local $refs are supported: " + ref)
+        node = self.root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        return node
+
+    def fail(self, path, message):
+        self.errors.append("{}: {}".format(path or "$", message))
+
+    def check(self, schema, value, path):
+        if "$ref" in schema:
+            schema = self.resolve(schema["$ref"])
+
+        expected = schema.get("type")
+        if expected is not None and not TYPE_CHECKS[expected](value):
+            self.fail(path, "expected {}, got {}".format(
+                expected, type(value).__name__))
+            return
+
+        if "enum" in schema and value not in schema["enum"]:
+            self.fail(path, "value {!r} not in {}".format(
+                value, schema["enum"]))
+        if "minimum" in schema and isinstance(value, (int, float)) \
+                and not isinstance(value, bool) \
+                and value < schema["minimum"]:
+            self.fail(path, "value {} below minimum {}".format(
+                value, schema["minimum"]))
+
+        if isinstance(value, dict):
+            for key in schema.get("required", []):
+                if key not in value:
+                    self.fail(path, "missing required key '{}'".format(key))
+            properties = schema.get("properties", {})
+            additional = schema.get("additionalProperties")
+            for key, item in value.items():
+                child = "{}.{}".format(path, key) if path else key
+                if key in properties:
+                    self.check(properties[key], item, child)
+                elif isinstance(additional, dict):
+                    self.check(additional, item, child)
+                elif additional is False:
+                    self.fail(path, "unexpected key '{}'".format(key))
+
+        if isinstance(value, list):
+            items = schema.get("items")
+            if isinstance(items, dict):
+                for index, item in enumerate(value):
+                    self.check(items, item, "{}[{}]".format(path, index))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema_path, doc_path = argv[1], argv[2]
+    try:
+        with open(schema_path, "r", encoding="utf-8") as handle:
+            schema = json.load(handle)
+        with open(doc_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print("validate_report: error: {}".format(err), file=sys.stderr)
+        return 1
+
+    validator = Validator(schema)
+    validator.check(schema, document, "")
+    if validator.errors:
+        print("validate_report: {} FAILS {} ({} violations):".format(
+            doc_path, schema_path, len(validator.errors)))
+        for error in validator.errors:
+            print("  " + error)
+        return 1
+    print("validate_report: {} conforms to {}".format(doc_path, schema_path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

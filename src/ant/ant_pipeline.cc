@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "ant/fnir.hh"
+#include "report/profiler.hh"
 #include "sim/clock.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -220,6 +222,7 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
     // thread count.
     const std::size_t group_count = (image_entries.size() + n - 1) / n;
     std::vector<GroupPlan> plans(group_count);
+    std::optional<ScopedTimer> plan_timer(std::in_place, Stage::PlanBuild);
     ThreadPool plan_pool(num_threads);
     plan_pool.parallelFor(0, group_count, /*grain=*/8, [&](
                               std::uint64_t g, std::uint32_t) {
@@ -258,6 +261,7 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
         }
         plans[g] = std::move(plan);
     });
+    plan_timer.reset();
 
     PipelineRunResult result;
     CounterSet scratch;

@@ -1,0 +1,545 @@
+#include "json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** Shortest round-trip decimal form of a double (finite values only). */
+std::string
+formatDouble(double v)
+{
+    ANT_ASSERT(std::isfinite(v), "JSON cannot represent non-finite ", v);
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    ANT_ASSERT(res.ec == std::errc(), "double formatting failed");
+    return std::string(buf, res.ptr);
+}
+
+void
+appendQuoted(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Recursive-descent parser over a raw byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    Json
+    run()
+    {
+        Json value = parseValue();
+        skipWs();
+        if (!failed_ && pos_ != text_.size())
+            fail("trailing characters after document");
+        return failed_ ? Json() : value;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (error_ != nullptr)
+            *error_ = why + " at byte " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char ch)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ch) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of document");
+            return Json();
+        }
+        const char ch = text_[pos_];
+        if (ch == '{')
+            return parseObject();
+        if (ch == '[')
+            return parseArray();
+        if (ch == '"')
+            return Json(parseString());
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        if (ch == '-' || (ch >= '0' && ch <= '9'))
+            return parseNumber();
+        fail(std::string("unexpected character '") + ch + "'");
+        return Json();
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char ch = text_[pos_++];
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned code = 0;
+                const auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+                if (res.ec != std::errc() ||
+                    res.ptr != text_.data() + pos_ + 4) {
+                    fail("bad \\u escape");
+                    return out;
+                }
+                pos_ += 4;
+                // The reports only emit control-range escapes; decode
+                // BMP code points as UTF-8 for generality.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: fail("unknown escape"); return out;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool is_integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char ch = text_[pos_];
+            if (ch >= '0' && ch <= '9') {
+                ++pos_;
+            } else if (ch == '.' || ch == 'e' || ch == 'E' || ch == '+' ||
+                       ch == '-') {
+                is_integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (is_integral) {
+            // Exact integer: negatives to Int, the rest to Uint so a
+            // full-range counter survives.
+            if (token[0] == '-') {
+                std::int64_t v = 0;
+                const auto res = std::from_chars(
+                    token.data(), token.data() + token.size(), v);
+                if (res.ec == std::errc() &&
+                    res.ptr == token.data() + token.size())
+                    return Json(v);
+            } else {
+                std::uint64_t v = 0;
+                const auto res = std::from_chars(
+                    token.data(), token.data() + token.size(), v);
+                if (res.ec == std::errc() &&
+                    res.ptr == token.data() + token.size())
+                    return Json(v);
+            }
+        }
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number '" + token + "'");
+            return Json();
+        }
+        return Json(v);
+    }
+
+    Json
+    parseArray()
+    {
+        Json arr = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (!failed_) {
+            arr.push(parseValue());
+            if (consume(']'))
+                return arr;
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return arr;
+            }
+        }
+        return arr;
+    }
+
+    Json
+    parseObject()
+    {
+        Json obj = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (!failed_) {
+            skipWs();
+            const std::string key = parseString();
+            if (failed_)
+                return obj;
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return obj;
+            }
+            obj.set(key, parseValue());
+            if (consume('}'))
+                return obj;
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return obj;
+            }
+        }
+        return obj;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::isNumber() const
+{
+    return type_ == Type::Int || type_ == Type::Uint ||
+        type_ == Type::Double;
+}
+
+bool
+Json::asBool() const
+{
+    ANT_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    if (type_ == Type::Uint) {
+        ANT_ASSERT(uint_ <= static_cast<std::uint64_t>(
+                                std::numeric_limits<std::int64_t>::max()),
+                   "JSON integer ", uint_, " exceeds int64");
+        return static_cast<std::int64_t>(uint_);
+    }
+    ANT_ASSERT(type_ == Type::Int, "JSON value is not an integer");
+    return int_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (type_ == Type::Int) {
+        ANT_ASSERT(int_ >= 0, "JSON integer ", int_, " is negative");
+        return static_cast<std::uint64_t>(int_);
+    }
+    ANT_ASSERT(type_ == Type::Uint, "JSON value is not an integer");
+    return uint_;
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+    case Type::Int: return static_cast<double>(int_);
+    case Type::Uint: return static_cast<double>(uint_);
+    case Type::Double: return double_;
+    default: ANT_PANIC("JSON value is not numeric");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    ANT_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+Json &
+Json::push(Json value)
+{
+    ANT_ASSERT(type_ == Type::Array, "push on a non-array JSON value");
+    array_.push_back(std::move(value));
+    return array_.back();
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    ANT_PANIC("size() on a scalar JSON value");
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    ANT_ASSERT(type_ == Type::Array, "indexing a non-array JSON value");
+    ANT_ASSERT(index < array_.size(), "JSON array index ", index,
+               " out of range ", array_.size());
+    return array_[index];
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    ANT_ASSERT(type_ == Type::Object, "set on a non-object JSON value");
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return member.second;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+    return object_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    ANT_ASSERT(type_ == Type::Object, "find on a non-object JSON value");
+    for (const auto &member : object_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *value = find(key);
+    ANT_ASSERT(value != nullptr, "JSON object has no member '", key, "'");
+    return *value;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    ANT_ASSERT(type_ == Type::Object, "members on a non-object JSON value");
+    return object_;
+}
+
+void
+Json::dumpTo(std::string &out, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2,
+                                ' ');
+    switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: out += std::to_string(int_); break;
+    case Type::Uint: out += std::to_string(uint_); break;
+    case Type::Double: out += formatDouble(double_); break;
+    case Type::String: appendQuoted(out, string_); break;
+    case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += inner_pad;
+            array_[i].dumpTo(out, indent + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += ']';
+        break;
+    case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            out += inner_pad;
+            appendQuoted(out, object_[i].first);
+            out += ": ";
+            object_[i].second.dumpTo(out, indent + 1);
+            if (i + 1 < object_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out, 0);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    Parser parser(text, error);
+    return parser.run();
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (isNumber() && other.isNumber()) {
+        // Exact integers compare exactly; anything involving a double
+        // compares by value (shortest-round-trip printing guarantees
+        // the parsed double is bit-identical to the source).
+        const bool lhs_integral = type_ != Type::Double;
+        const bool rhs_integral = other.type_ != Type::Double;
+        if (lhs_integral && rhs_integral) {
+            const bool lhs_neg = type_ == Type::Int && int_ < 0;
+            const bool rhs_neg = other.type_ == Type::Int && other.int_ < 0;
+            if (lhs_neg != rhs_neg)
+                return false;
+            if (lhs_neg)
+                return asInt() == other.asInt();
+            return asUint() == other.asUint();
+        }
+        return asDouble() == other.asDouble();
+    }
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::String: return string_ == other.string_;
+    case Type::Array: return array_ == other.array_;
+    case Type::Object: return object_ == other.object_;
+    default: return false; // numbers handled above
+    }
+}
+
+} // namespace antsim

@@ -1,0 +1,258 @@
+#include "report.hh"
+
+#include <cstdio>
+
+#include "report/profiler.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+/** Phase keys in TrainingPhase order (layer.hh). */
+constexpr const char *kPhaseNames[3] = {"forward", "backward", "update"};
+
+constexpr std::uint64_t kSchemaVersion = 1;
+
+Json
+phaseStatsToJson(const PhaseStats &phase, const char *phase_name)
+{
+    Json json = Json::object();
+    json.set("phase", phase_name);
+    json.set("pairs_total", phase.pairsTotal);
+    json.set("pairs_simulated", phase.pairsSimulated);
+    json.set("counters", counterSetToJson(phase.counters));
+    return json;
+}
+
+void
+writeFileOrFatal(const std::string &path, const std::string &content)
+{
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        ANT_FATAL("cannot open report file '", path, "' for writing");
+    const std::size_t written =
+        std::fwrite(content.data(), 1, content.size(), out);
+    const bool flushed = std::fclose(out) == 0;
+    if (written != content.size() || !flushed)
+        ANT_FATAL("short write to report file '", path, "'");
+}
+
+} // namespace
+
+Json
+counterSetToJson(const CounterSet &counters)
+{
+    Json json = Json::object();
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const auto counter = static_cast<Counter>(i);
+        json.set(counterName(counter), counters.get(counter));
+    }
+    return json;
+}
+
+CounterSet
+counterSetFromJson(const Json &json)
+{
+    CounterSet counters;
+    ANT_ASSERT(json.size() == kNumCounters,
+               "counter object has ", json.size(), " members, expected ",
+               kNumCounters);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const auto counter = static_cast<Counter>(i);
+        counters.set(counter, json.at(counterName(counter)).asUint());
+    }
+    return counters;
+}
+
+Json
+networkStatsToJson(const NetworkStats &stats, std::uint32_t num_pes)
+{
+    Json json = Json::object();
+    json.set("total", counterSetToJson(stats.total));
+    json.set("accelerator_cycles", stats.acceleratorCycles(num_pes));
+    json.set("rcp_avoided_fraction", stats.rcpAvoidedFraction());
+    json.set("valid_mult_fraction", stats.validMultFraction());
+    Json layers = Json::array();
+    for (const LayerStats &layer : stats.layers) {
+        Json layer_json = Json::object();
+        layer_json.set("name", layer.name);
+        Json phases = Json::array();
+        for (std::size_t pi = 0; pi < layer.phases.size(); ++pi) {
+            // Phases that were not simulated keep pairsTotal == 0 and
+            // are omitted, so a forward-only report stays compact.
+            if (layer.phases[pi].pairsTotal == 0)
+                continue;
+            phases.push(
+                phaseStatsToJson(layer.phases[pi], kPhaseNames[pi]));
+        }
+        layer_json.set("phases", std::move(phases));
+        layers.push(std::move(layer_json));
+    }
+    json.set("layers", std::move(layers));
+    return json;
+}
+
+NetworkStats
+networkStatsFromJson(const Json &json)
+{
+    NetworkStats stats;
+    stats.total = counterSetFromJson(json.at("total"));
+    const Json &layers = json.at("layers");
+    for (std::size_t li = 0; li < layers.size(); ++li) {
+        const Json &layer_json = layers.at(li);
+        LayerStats layer;
+        layer.name = layer_json.at("name").asString();
+        const Json &phases = layer_json.at("phases");
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const Json &phase_json = phases.at(i);
+            const std::string &phase_name =
+                phase_json.at("phase").asString();
+            std::size_t pi = 3;
+            for (std::size_t p = 0; p < 3; ++p) {
+                if (phase_name == kPhaseNames[p])
+                    pi = p;
+            }
+            ANT_ASSERT(pi < 3, "unknown phase name '", phase_name, "'");
+            PhaseStats &phase = layer.phases[pi];
+            phase.pairsTotal = phase_json.at("pairs_total").asUint();
+            phase.pairsSimulated =
+                phase_json.at("pairs_simulated").asUint();
+            phase.counters = counterSetFromJson(phase_json.at("counters"));
+        }
+        stats.layers.push_back(std::move(layer));
+    }
+    return stats;
+}
+
+Json
+profileToJson()
+{
+    Json json = Json::object();
+    Json stages = Json::array();
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+        const auto stage = static_cast<Stage>(i);
+        Json entry = Json::object();
+        entry.set("name", stageName(stage));
+        entry.set("nanos", profiler::totalNanos(stage));
+        entry.set("seconds",
+                  static_cast<double>(profiler::totalNanos(stage)) * 1e-9);
+        entry.set("calls", profiler::callCount(stage));
+        stages.push(std::move(entry));
+    }
+    json.set("stages", std::move(stages));
+    return json;
+}
+
+void
+RunReport::setMetadata(RunMetadata metadata)
+{
+    metadata_ = std::move(metadata);
+}
+
+void
+RunReport::addMetric(const std::string &name, double value)
+{
+    metrics_.set(name, value);
+}
+
+void
+RunReport::addMetric(const std::string &name, std::uint64_t value)
+{
+    metrics_.set(name, value);
+}
+
+void
+RunReport::addNetwork(const std::string &name, const NetworkStats &stats,
+                      std::uint32_t num_pes)
+{
+    networks_.push_back({name, networkStatsToJson(stats, num_pes)});
+}
+
+void
+RunReport::addTable(const std::string &name, const Table &table)
+{
+    tables_.push_back({name, table});
+}
+
+Json
+RunReport::toJson(bool include_profile) const
+{
+    Json json = Json::object();
+    json.set("schema_version", kSchemaVersion);
+    json.set("generator", "antsim");
+
+    Json metadata = Json::object();
+    metadata.set("binary", metadata_.binary);
+    metadata.set("seed", metadata_.seed);
+    metadata.set("threads", static_cast<std::uint64_t>(metadata_.threads));
+    metadata.set("pes", static_cast<std::uint64_t>(metadata_.pes));
+    metadata.set("samples", static_cast<std::uint64_t>(metadata_.samples));
+    metadata.set("chunk", static_cast<std::uint64_t>(metadata_.chunk));
+    metadata.set("audit", metadata_.audit);
+    metadata.set("energy_table_version", metadata_.energyTableVersion);
+    json.set("metadata", std::move(metadata));
+
+    json.set("metrics", metrics_);
+
+    Json networks = Json::array();
+    for (const NamedStats &network : networks_) {
+        Json entry = Json::object();
+        entry.set("name", network.name);
+        entry.set("stats", network.stats);
+        networks.push(std::move(entry));
+    }
+    json.set("networks", std::move(networks));
+
+    Json tables = Json::array();
+    for (const NamedTable &table : tables_) {
+        Json entry = Json::object();
+        entry.set("name", table.name);
+        Json headers = Json::array();
+        for (const std::string &header : table.table.headers())
+            headers.push(header);
+        entry.set("headers", std::move(headers));
+        Json rows = Json::array();
+        for (const auto &row : table.table.rows()) {
+            Json cells = Json::array();
+            for (const std::string &cell : row)
+                cells.push(cell);
+            rows.push(std::move(cells));
+        }
+        entry.set("rows", std::move(rows));
+        tables.push(std::move(entry));
+    }
+    json.set("tables", std::move(tables));
+
+    if (include_profile)
+        json.set("profile", profileToJson());
+    return json;
+}
+
+std::string
+RunReport::toCsv() const
+{
+    std::string out;
+    for (const NamedTable &table : tables_) {
+        out += "# ";
+        out += table.name;
+        out += '\n';
+        out += table.table.toCsv();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+RunReport::writeJson(const std::string &path, bool include_profile) const
+{
+    writeFileOrFatal(path, toJson(include_profile).dump() + "\n");
+}
+
+void
+RunReport::writeCsv(const std::string &path) const
+{
+    writeFileOrFatal(path, toCsv());
+}
+
+} // namespace antsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Structured run reporting: machine-readable JSON/CSV export of
+ * everything a bench binary measures.
+ *
+ * Every paper claim the simulator reproduces used to exist only as a
+ * pretty-printed terminal table; this subsystem gives each run a
+ * structured document that CI, the BENCH_* perf trajectory, and
+ * regression tooling can consume (see docs/report_schema.json for the
+ * schema and scripts/bench_all.sh for the merger that builds the
+ * repo-level BENCH_antsim.json).
+ *
+ * A RunReport collects four kinds of content:
+ *  - metadata: binary name, seed, thread/PE/sample configuration,
+ *    audit state, and the per-op energy table version;
+ *  - metrics: named scalars (geomean speedup, RCP-avoided mean, ...);
+ *  - networks: full NetworkStats serializations, counter-exact;
+ *  - tables: the same rows the binary printed, verbatim.
+ *
+ * Everything above is deterministic: for a fixed configuration the
+ * serialized document is byte-identical at every thread count (the
+ * deterministic parallel engine, DESIGN.md). Wall-clock stage timings
+ * from the profiler (profiler.hh) are the one exception, so they are
+ * confined to a "profile" section that toJson can exclude -- the
+ * golden-JSON regression tests serialize without it.
+ */
+
+#ifndef ANTSIM_REPORT_REPORT_HH
+#define ANTSIM_REPORT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+#include "util/table.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+
+/** Run configuration recorded in every report. */
+struct RunMetadata
+{
+    /** Bench binary name (argv[0] basename). */
+    std::string binary;
+    std::uint64_t seed = 42;
+    /** Requested worker threads (0 = hardware concurrency). */
+    std::uint32_t threads = 0;
+    std::uint32_t pes = 64;
+    std::uint32_t samples = 16;
+    std::uint32_t chunk = 4096;
+    /** Whether the invariant audits ran. */
+    bool audit = false;
+    /** Version tag of the per-op energy table (kEnergyTableVersion). */
+    std::string energyTableVersion;
+};
+
+/** Serialize a counter set: every counter by name, exact uint64. */
+Json counterSetToJson(const CounterSet &counters);
+
+/** Parse a counter set serialized by counterSetToJson. */
+CounterSet counterSetFromJson(const Json &json);
+
+/**
+ * Serialize a network run: totals, derived fractions, accelerator
+ * cycles at @p num_pes, and the full per-layer/per-phase breakdown.
+ */
+Json networkStatsToJson(const NetworkStats &stats, std::uint32_t num_pes);
+
+/** Parse the output of networkStatsToJson back into NetworkStats. */
+NetworkStats networkStatsFromJson(const Json &json);
+
+/** Snapshot of the stage profiler as the report's profile section. */
+Json profileToJson();
+
+/** One run's structured report. */
+class RunReport
+{
+  public:
+    void setMetadata(RunMetadata metadata);
+    const RunMetadata &metadata() const { return metadata_; }
+
+    /** Record a named scalar result (insertion-ordered). */
+    void addMetric(const std::string &name, double value);
+    void addMetric(const std::string &name, std::uint64_t value);
+
+    /** Record a full network run under @p name. */
+    void addNetwork(const std::string &name, const NetworkStats &stats,
+                    std::uint32_t num_pes);
+
+    /** Record a printed table under @p name. */
+    void addTable(const std::string &name, const Table &table);
+
+    /**
+     * Full document. @p include_profile controls the non-deterministic
+     * wall-clock section; everything else is byte-stable across thread
+     * counts for a fixed configuration.
+     */
+    Json toJson(bool include_profile = true) const;
+
+    /** All recorded tables as one CSV stream ("# name" separators). */
+    std::string toCsv() const;
+
+    /** Write toJson(...).dump() to @p path (fatal on I/O failure). */
+    void writeJson(const std::string &path, bool include_profile = true) const;
+
+    /** Write toCsv() to @p path (fatal on I/O failure). */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    RunMetadata metadata_;
+    Json metrics_ = Json::object();
+    struct NamedStats
+    {
+        std::string name;
+        Json stats;
+    };
+    std::vector<NamedStats> networks_;
+    struct NamedTable
+    {
+        std::string name;
+        Table table;
+    };
+    std::vector<NamedTable> tables_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_REPORT_REPORT_HH

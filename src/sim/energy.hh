@@ -23,6 +23,13 @@
 
 namespace antsim {
 
+/**
+ * Version tag of the default per-op energy table below. Run reports
+ * carry it so downstream tooling can tell whether two energy numbers
+ * were produced under the same calibration (src/report).
+ */
+constexpr const char *kEnergyTableVersion = "pj-7nm-v1";
+
 /** Per-operation energies in picojoules. */
 struct EnergyParams
 {

@@ -1,6 +1,7 @@
 #include "cli.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "logging.hh"
@@ -35,7 +36,10 @@ Cli::Cli(int argc, const char *const *argv,
 
         if (std::find(known.begin(), known.end(), name) == known.end())
             ANT_FATAL("unknown flag '--", name, "'");
-        values_[name] = value;
+        // Last-one-wins would silently drop half of a contradictory
+        // invocation such as "--seed 1 --seed 2"; refuse instead.
+        if (!values_.emplace(name, value).second)
+            ANT_FATAL("duplicate flag '--", name, "'");
     }
 }
 
@@ -59,10 +63,16 @@ Cli::getInt(const std::string &name, std::int64_t fallback) const
     if (it == values_.end())
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    if (end == it->second.c_str() || end == nullptr || *end != '\0')
         ANT_FATAL("flag --", name, " expects an integer, got '", it->second,
                   "'");
+    // strtoll saturates to INT64_MIN/MAX on overflow, which would
+    // silently run a wildly different configuration than requested.
+    if (errno == ERANGE)
+        ANT_FATAL("flag --", name, " value '", it->second,
+                  "' is out of the 64-bit integer range");
     return v;
 }
 
@@ -73,10 +83,16 @@ Cli::getDouble(const std::string &name, double fallback) const
     if (it == values_.end())
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const double v = std::strtod(it->second.c_str(), &end);
-    if (end == nullptr || *end != '\0')
+    if (end == it->second.c_str() || end == nullptr || *end != '\0')
         ANT_FATAL("flag --", name, " expects a number, got '", it->second,
                   "'");
+    // Overflow saturates to +/-inf (and underflow to ~0) with ERANGE;
+    // both mean the requested value cannot be represented.
+    if (errno == ERANGE)
+        ANT_FATAL("flag --", name, " value '", it->second,
+                  "' is out of the representable double range");
     return v;
 }
 
@@ -86,7 +102,15 @@ Cli::getBool(const std::string &name, bool fallback) const
     const auto it = values_.find(name);
     if (it == values_.end())
         return fallback;
-    return it->second == "true" || it->second == "1" || it->second == "yes";
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    // Anything else ("--audit=ture", "--audit on") used to map to
+    // false, silently disabling the very check the user asked for.
+    ANT_FATAL("flag --", name, " expects a boolean "
+              "(true/false, 1/0, yes/no), got '", v, "'");
 }
 
 } // namespace antsim

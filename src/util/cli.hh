@@ -3,8 +3,10 @@
  * Minimal command-line flag parser for bench/example binaries.
  *
  * Supports "--name value" and "--name=value" forms plus boolean
- * switches. Unknown flags are fatal so typos do not silently run the
- * default experiment.
+ * switches. Unknown flags, duplicate flags, and malformed values
+ * (non-numeric, out-of-range, or non-boolean where a boolean is
+ * expected) are all fatal so typos do not silently run the default
+ * experiment.
  */
 
 #ifndef ANTSIM_UTIL_CLI_HH
@@ -41,7 +43,10 @@ class Cli
     /** Double value, or @p fallback if absent. */
     double getDouble(const std::string &name, double fallback) const;
 
-    /** Boolean switch: present without value, or "true"/"1". */
+    /**
+     * Boolean switch: present without value, or true/false, 1/0,
+     * yes/no; any other value is fatal.
+     */
     bool getBool(const std::string &name, bool fallback = false) const;
 
   private:

@@ -47,6 +47,16 @@ class Table
     /** Number of data rows added so far. */
     std::size_t rowCount() const { return rows_.size(); }
 
+    /** Column headers (report serialization). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Data rows in insertion order (report serialization). */
+    const std::vector<std::vector<std::string>> &
+    rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "report/profiler.hh"
 #include "sim/chunking.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -22,9 +23,17 @@ runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
     // the sparse buffer capacity.
     if (!pe.usesCompressedOperands())
         capacity = std::numeric_limits<std::uint32_t>::max();
-    const auto kernel_chunks = chunkByCapacity(pair.kernel, capacity);
-    const auto image_chunks = chunkByCapacity(pair.image, capacity);
-    for (const auto &task : allChunkPairs(kernel_chunks, image_chunks)) {
+    std::vector<ChunkPair> tasks;
+    std::vector<CsrMatrix> kernel_chunks;
+    std::vector<CsrMatrix> image_chunks;
+    {
+        const ScopedTimer timer(Stage::PlanBuild);
+        kernel_chunks = chunkByCapacity(pair.kernel, capacity);
+        image_chunks = chunkByCapacity(pair.image, capacity);
+        tasks = allChunkPairs(kernel_chunks, image_chunks);
+    }
+    const ScopedTimer timer(Stage::PeSim);
+    for (const auto &task : tasks) {
         const PeResult r = pe.runPair(pair.spec, *task.kernel, *task.image,
                                       /*collect_output=*/false);
         total += r.counters;
@@ -81,7 +90,10 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
     CounterSet counters;
     const auto phase = static_cast<TrainingPhase>(unit.phase);
     Rng rng(mixSeed(config.seed, unit.layer, unit.phase, unit.taskIndex));
-    const StackTask task = makeConvPhaseTask(layer, phase, profile, rng);
+    const StackTask task = [&] {
+        const ScopedTimer timer(Stage::TraceGen);
+        return makeConvPhaseTask(layer, phase, profile, rng);
+    }();
     const auto kernel_ptrs = task.kernelPtrs();
 
     // Image chunking: the stationary image must fit the 8 KB buffer;
@@ -90,8 +102,13 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
     std::uint32_t capacity = config.chunkCapacity;
     if (!pe.usesCompressedOperands())
         capacity = std::numeric_limits<std::uint32_t>::max();
-    for (const CsrMatrix &image_chunk :
-         chunkByCapacity(task.image, capacity)) {
+    std::vector<CsrMatrix> image_chunks;
+    {
+        const ScopedTimer timer(Stage::PlanBuild);
+        image_chunks = chunkByCapacity(task.image, capacity);
+    }
+    const ScopedTimer timer(Stage::PeSim);
+    for (const CsrMatrix &image_chunk : image_chunks) {
         const PeResult r = pe.runStack(task.spec, kernel_ptrs, image_chunk,
                                        /*collect_output=*/false);
         counters += r.counters;
@@ -101,6 +118,24 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
 }
 
 } // namespace
+
+void
+RunConfig::validate() const
+{
+    // A worker count beyond any plausible machine is almost always a
+    // negative flag value wrapped by an unsigned conversion.
+    constexpr std::uint32_t kMaxThreads = 4096;
+    if (numThreads > kMaxThreads)
+        ANT_FATAL("numThreads = ", numThreads, " is not a sane worker ",
+                  "count (max ", kMaxThreads,
+                  "); was a negative value converted to unsigned?");
+    if (sampleCap == 0)
+        ANT_FATAL("sampleCap must be positive");
+    if (numPes == 0)
+        ANT_FATAL("numPes must be positive");
+    if (chunkCapacity == 0)
+        ANT_FATAL("chunkCapacity must be positive");
+}
 
 double
 NetworkStats::rcpAvoidedFraction() const
@@ -127,7 +162,7 @@ NetworkStats
 runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
                const SparsityProfile &profile, const RunConfig &config)
 {
-    ANT_ASSERT(config.sampleCap > 0, "sampleCap must be positive");
+    config.validate();
     NetworkStats stats;
 
     // Flatten the simulated units so the pool can schedule them freely;
@@ -175,6 +210,7 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     // (layer, phase) skeleton in task-index order -- the exact order
     // the serial loop accumulated them -- then scale and audit each
     // phase as before. Bit-identical for every thread count.
+    const ScopedTimer reduce_timer(Stage::Reduce);
     std::uint64_t scaled_sets = 0;
     std::size_t next_unit = 0;
     for (LayerStats &layer_stats : stats.layers) {
@@ -205,6 +241,7 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
                  double sparsity, SparsifyMethod method,
                  const RunConfig &config)
 {
+    config.validate();
     NetworkStats stats;
     std::vector<CounterSet> layer_counters(layers.size());
     ThreadPool pool(config.numThreads);
@@ -213,12 +250,15 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
         0, layers.size(), /*grain=*/1,
         [&](std::uint64_t li, std::uint32_t worker) {
             Rng rng(mixSeed(config.seed, li, 0, 0));
-            const PlanePair pair =
-                makeMatmulPair(layers[li], sparsity, method, rng);
+            const PlanePair pair = [&] {
+                const ScopedTimer timer(Stage::TraceGen);
+                return makeMatmulPair(layers[li], sparsity, method, rng);
+            }();
             layer_counters[li] = runPlanePair(worker_pes[worker], pair,
                                               config.chunkCapacity);
         });
 
+    const ScopedTimer reduce_timer(Stage::Reduce);
     for (std::size_t li = 0; li < layers.size(); ++li) {
         LayerStats layer_stats;
         layer_stats.name = layers[li].name;

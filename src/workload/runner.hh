@@ -59,6 +59,14 @@ struct RunConfig
      * DESIGN.md "Parallel execution model").
      */
     std::uint32_t numThreads = 1;
+
+    /**
+     * Fatal (user-error) check of the configuration. The runners call
+     * it on entry so a nonsensical value -- e.g. a negative --threads
+     * wrapped to four billion by an unsigned conversion -- fails with
+     * a clear message instead of an allocation explosion.
+     */
+    void validate() const;
 };
 
 /** Aggregated statistics of one (layer, phase). */

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the structured run-reporting subsystem (src/report): the
+ * JSON document model, the CounterSet/NetworkStats serializers (full
+ * round trips against live runner output), the stage profiler, and
+ * the golden-JSON guarantee that the deterministic part of a report
+ * is byte-identical at every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ant/ant_pe.hh"
+#include "report/json.hh"
+#include "report/profiler.hh"
+#include "report/report.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace {
+
+RunConfig
+fastConfig()
+{
+    RunConfig config;
+    config.sampleCap = 2;
+    config.seed = 42;
+    config.numThreads = 1;
+    return config;
+}
+
+TEST(Json, ScalarsDumpAndParse)
+{
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    EXPECT_EQ(Json("a \"b\"\n").dump(), "\"a \\\"b\\\"\\n\"");
+
+    std::string error;
+    const Json big = Json::parse("18446744073709551615", &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(big.asUint(), 18446744073709551615ull);
+    EXPECT_EQ(Json::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5e3").asDouble(), 2500.0);
+    EXPECT_EQ(Json::parse("\"x\\u0041y\"").asString(), "xAy");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", std::uint64_t{1});
+    obj.set("alpha", std::uint64_t{2});
+    obj.set("zebra", std::uint64_t{3}); // overwrite keeps position
+    const std::string text = obj.dump();
+    EXPECT_LT(text.find("zebra"), text.find("alpha"));
+    EXPECT_EQ(obj.at("zebra").asUint(), 3u);
+    EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, RoundTripEquality)
+{
+    Json doc = Json::object();
+    doc.set("counters", Json::object()).set("cycles",
+                                            std::uint64_t{123456789});
+    doc.set("fraction", 0.9290713678140187);
+    doc.set("name", "ResNet18");
+    doc.set("flags", Json::array()).push(true);
+    Json &nested = doc.set("nested", Json::array());
+    nested.push(Json::object());
+
+    std::string error;
+    const Json parsed = Json::parse(doc.dump(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed, doc);
+    // And the dump of the parse is byte-identical: full fixpoint.
+    EXPECT_EQ(parsed.dump(), doc.dump());
+}
+
+TEST(Json, ParseErrorsAreReported)
+{
+    std::string error;
+    Json::parse("{\"a\": }", &error);
+    EXPECT_FALSE(error.empty());
+    Json::parse("[1, 2", &error);
+    EXPECT_FALSE(error.empty());
+    Json::parse("12 34", &error);
+    EXPECT_FALSE(error.empty());
+    Json::parse("", &error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Report, CounterSetRoundTrip)
+{
+    CounterSet counters;
+    counters.add(Counter::MultsExecuted, 1000000000000000003ull);
+    counters.add(Counter::Cycles, 7);
+    const Json json = counterSetToJson(counters);
+    // Every counter is present by name, exactly.
+    EXPECT_EQ(json.size(), kNumCounters);
+    const CounterSet back = counterSetFromJson(Json::parse(json.dump()));
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+        const auto counter = static_cast<Counter>(i);
+        EXPECT_EQ(back.get(counter), counters.get(counter))
+            << counterName(counter);
+    }
+}
+
+TEST(Report, NetworkStatsRoundTripAgainstLiveRun)
+{
+    AntPe ant;
+    const auto stats = runConvNetwork(ant, resnet18Cifar(),
+                                      SparsityProfile::swat(0.9),
+                                      fastConfig());
+    const Json json = networkStatsToJson(stats, /*num_pes=*/64);
+    const NetworkStats back =
+        networkStatsFromJson(Json::parse(json.dump()));
+
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        const auto counter = static_cast<Counter>(c);
+        EXPECT_EQ(back.total.get(counter), stats.total.get(counter))
+            << counterName(counter);
+    }
+    ASSERT_EQ(back.layers.size(), stats.layers.size());
+    for (std::size_t li = 0; li < stats.layers.size(); ++li) {
+        EXPECT_EQ(back.layers[li].name, stats.layers[li].name);
+        for (std::size_t pi = 0; pi < 3; ++pi) {
+            const PhaseStats &expected = stats.layers[li].phases[pi];
+            const PhaseStats &got = back.layers[li].phases[pi];
+            EXPECT_EQ(got.pairsTotal, expected.pairsTotal);
+            EXPECT_EQ(got.pairsSimulated, expected.pairsSimulated);
+            for (std::size_t c = 0; c < kNumCounters; ++c) {
+                const auto counter = static_cast<Counter>(c);
+                EXPECT_EQ(got.counters.get(counter),
+                          expected.counters.get(counter));
+            }
+        }
+    }
+    // Derived quantities serialize from the same stats object.
+    EXPECT_DOUBLE_EQ(json.at("rcp_avoided_fraction").asDouble(),
+                     stats.rcpAvoidedFraction());
+    EXPECT_EQ(json.at("accelerator_cycles").asUint(),
+              stats.acceleratorCycles(64));
+}
+
+TEST(Report, GoldenJsonByteIdenticalAcrossThreadCounts)
+{
+    // The deterministic-engine guarantee at the serialization layer:
+    // the 1-thread ResNet18 report (counters, layers, fractions) must
+    // be byte-identical when re-run at any thread count. Only the
+    // profile section (wall-clock) and the thread count itself may
+    // differ, and neither is part of this document.
+    AntPe serial_pe;
+    RunConfig config = fastConfig();
+    const auto serial = runConvNetwork(serial_pe, resnet18Cifar(),
+                                       SparsityProfile::swat(0.9), config);
+    const std::string golden = networkStatsToJson(serial, 64).dump();
+    for (const std::uint32_t threads : {2u, 8u}) {
+        AntPe pe;
+        config.numThreads = threads;
+        const auto stats = runConvNetwork(
+            pe, resnet18Cifar(), SparsityProfile::swat(0.9), config);
+        EXPECT_EQ(networkStatsToJson(stats, 64).dump(), golden)
+            << threads << " threads";
+    }
+}
+
+TEST(Report, RunReportDocumentShape)
+{
+    RunReport report;
+    RunMetadata metadata;
+    metadata.binary = "report_test";
+    metadata.seed = 7;
+    metadata.threads = 2;
+    metadata.energyTableVersion = "pj-test";
+    report.setMetadata(metadata);
+    report.addMetric("speedup_geomean", 3.71);
+    report.addMetric("tasks", std::uint64_t{12});
+    Table table({"Network", "Speedup"});
+    table.addRow({"ResNet18", "3.71x"});
+    report.addTable("fig09", table);
+
+    ScnnPe pe;
+    const auto stats = runConvNetwork(pe, resnet18Cifar(),
+                                      SparsityProfile::swat(0.9),
+                                      fastConfig());
+    report.addNetwork("scnn/ResNet18", stats, 64);
+
+    const Json doc = report.toJson();
+    EXPECT_EQ(doc.at("schema_version").asUint(), 1u);
+    EXPECT_EQ(doc.at("metadata").at("binary").asString(), "report_test");
+    EXPECT_EQ(doc.at("metadata").at("energy_table_version").asString(),
+              "pj-test");
+    EXPECT_DOUBLE_EQ(doc.at("metrics").at("speedup_geomean").asDouble(),
+                     3.71);
+    EXPECT_EQ(doc.at("networks").size(), 1u);
+    EXPECT_EQ(doc.at("networks").at(0u).at("name").asString(),
+              "scnn/ResNet18");
+    EXPECT_EQ(doc.at("tables").at(0u).at("rows").at(0u).at(0u).asString(),
+              "ResNet18");
+    // Profile present by default, absent when excluded (the golden
+    // documents never carry wall-clock noise).
+    EXPECT_NE(doc.find("profile"), nullptr);
+    EXPECT_EQ(report.toJson(/*include_profile=*/false).find("profile"),
+              nullptr);
+
+    // The CSV mirror carries the table rows.
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("# fig09"), std::string::npos);
+    EXPECT_NE(csv.find("ResNet18,3.71x"), std::string::npos);
+}
+
+TEST(Report, WriteJsonFileParsesBack)
+{
+    RunReport report;
+    report.addMetric("alpha", 1.5);
+    const std::string path = ::testing::TempDir() + "report_test_out.json";
+    report.writeJson(path);
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const Json parsed = Json::parse(buffer.str(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_DOUBLE_EQ(parsed.at("metrics").at("alpha").asDouble(), 1.5);
+    std::remove(path.c_str());
+}
+
+TEST(Profiler, ScopedTimerAccumulates)
+{
+    profiler::reset();
+    EXPECT_EQ(profiler::callCount(Stage::PeSim), 0u);
+    {
+        const ScopedTimer timer(Stage::PeSim);
+    }
+    {
+        const ScopedTimer timer(Stage::PeSim);
+    }
+    EXPECT_EQ(profiler::callCount(Stage::PeSim), 2u);
+    EXPECT_EQ(profiler::callCount(Stage::TraceGen), 0u);
+    profiler::reset();
+    EXPECT_EQ(profiler::callCount(Stage::PeSim), 0u);
+}
+
+TEST(Profiler, RunnerPopulatesAllStages)
+{
+    profiler::reset();
+    ScnnPe pe;
+    runConvNetwork(pe, resnet18Cifar(), SparsityProfile::swat(0.9),
+                   fastConfig());
+    EXPECT_GT(profiler::callCount(Stage::TraceGen), 0u);
+    EXPECT_GT(profiler::callCount(Stage::PlanBuild), 0u);
+    EXPECT_GT(profiler::callCount(Stage::PeSim), 0u);
+    EXPECT_GT(profiler::callCount(Stage::Reduce), 0u);
+    const Json profile = profileToJson();
+    EXPECT_EQ(profile.at("stages").size(), kNumStages);
+    EXPECT_EQ(profile.at("stages").at(0u).at("name").asString(),
+              "trace_generation");
+    profiler::reset();
+}
+
+TEST(Profiler, StageNamesAreStableSchemaKeys)
+{
+    EXPECT_STREQ(stageName(Stage::TraceGen), "trace_generation");
+    EXPECT_STREQ(stageName(Stage::PlanBuild), "plan_construction");
+    EXPECT_STREQ(stageName(Stage::PeSim), "pe_simulation");
+    EXPECT_STREQ(stageName(Stage::Reduce), "reduction");
+}
+
+} // namespace
+} // namespace antsim

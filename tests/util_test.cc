@@ -172,6 +172,27 @@ TEST(Stats, GeomeanMatchesPaperStyleAggregation)
     EXPECT_LT(g, mean(xs));
 }
 
+TEST(StatsDeath, GeomeanOfEmptyDies)
+{
+    // A bench that filters every network out of its selection must not
+    // aggregate a phantom geomean; the guard makes that path loud.
+    EXPECT_DEATH(geomean({}), "panic: .*geomean of empty set");
+}
+
+TEST(StatsDeath, GeomeanOfNonPositiveDies)
+{
+    EXPECT_DEATH(geomean({2.0, 0.0}),
+                 "panic: .*geomean requires positive values");
+    EXPECT_DEATH(geomean({-1.0}),
+                 "panic: .*geomean requires positive values");
+}
+
+TEST(StatsDeath, MinMaxOfEmptyDie)
+{
+    EXPECT_DEATH(minOf({}), "panic: .*minOf of empty set");
+    EXPECT_DEATH(maxOf({}), "panic: .*maxOf of empty set");
+}
+
 TEST(Stats, StdDev)
 {
     EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
