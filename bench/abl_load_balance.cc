@@ -42,7 +42,7 @@ collectTaskCycles(PeModel &pe, const std::vector<ConvLayer> &layers,
                     makeConvPhaseTask(layers[li], phase, profile, rng);
                 const auto ptrs = task.kernelPtrs();
                 for (const CsrMatrix &chunk : chunkByCapacity(
-                         task.image, config.chunkCapacity)) {
+                         *task.image, config.chunkCapacity)) {
                     cycles.push_back(
                         pe.runStack(task.spec, ptrs, chunk, false)
                             .counters.get(Counter::Cycles));

@@ -8,6 +8,7 @@
 #include "sim/energy.hh"
 #include "util/audit.hh"
 #include "util/logging.hh"
+#include "workload/trace_cache.hh"
 
 namespace antsim {
 namespace bench {
@@ -47,7 +48,8 @@ parseOptions(int argc, const char *const *argv,
 {
     std::vector<std::string> known = {"samples", "seed",    "pes",
                                       "csv",     "chunk",   "audit",
-                                      "threads", "json",    "networks"};
+                                      "threads", "json",    "networks",
+                                      "trace-cache"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     g_cli = std::make_unique<Cli>(argc, argv, known);
 
@@ -82,6 +84,10 @@ parseOptions(int argc, const char *const *argv,
     options.networksFilter = g_cli->get("networks");
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);
+    // --trace-cache=false turns the plane cache off (A/B timing runs);
+    // the default is the ANTSIM_TRACE_CACHE environment setting.
+    trace_cache::setEnabled(
+        g_cli->getBool("trace-cache", trace_cache::enabled()));
     if (cli_out != nullptr)
         *cli_out = g_cli.get();
 

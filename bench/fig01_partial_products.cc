@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "conv/census.hh"
 #include "conv/outer_product.hh"
 #include "workload/networks.hh"
 #include "workload/tracegen.hh"
@@ -39,8 +40,8 @@ phaseCensus(const std::vector<ConvLayer> &layers, TrainingPhase phase,
                             static_cast<std::uint64_t>(phase), pair_index));
             const PlanePair pair =
                 makeConvPhasePair(layer, phase, profile, rng);
-            layer_census += countProducts(pair.spec, pair.kernel,
-                                          pair.image);
+            const CensusContext context(pair.spec, pair.image);
+            layer_census += context.countProducts(pair.kernel);
         }
         // Scale the sampled census to the full layer.
         const double scale = static_cast<double>(pairs_total) /

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fail when the bench suite's stage timings regress against a baseline.
+
+Usage: check_perf.py BASELINE.json REPORT.json [--factor F] [--min-seconds S]
+
+BASELINE.json is the checked-in scripts/perf_baseline.json: a document
+with a "stage_seconds" object of per-stage seconds recorded from a
+known-good smoke run. REPORT.json is a merged BENCH_antsim.json (see
+scripts/bench_all.sh); its summary.stage_seconds is compared stage by
+stage and the check fails if any stage exceeds factor * baseline
+(default 2x -- wide enough for machine-to-machine variance, narrow
+enough to catch an accidental revert of the census/trace-cache fast
+paths).
+
+Stages whose baseline is below --min-seconds (default 0.05) are skipped:
+sub-50ms stages are timer noise, not signal.
+
+Only the Python standard library is used: the bench containers and the
+CI runner deliberately have no third-party packages installed.
+"""
+
+import json
+import sys
+
+
+def fatal(message):
+    print("check_perf: error: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fatal("cannot read {}: {}".format(path, err))
+
+
+def parse_flag(args, name, default):
+    if name in args:
+        index = args.index(name)
+        if index + 1 >= len(args):
+            fatal("{} expects a value".format(name))
+        try:
+            value = float(args[index + 1])
+        except ValueError:
+            fatal("{} expects a number, got '{}'".format(
+                name, args[index + 1]))
+        del args[index:index + 2]
+        return value
+    return default
+
+
+def main(argv):
+    args = list(argv[1:])
+    factor = parse_flag(args, "--factor", 2.0)
+    min_seconds = parse_flag(args, "--min-seconds", 0.05)
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, report_path = args
+
+    baseline = load_json(baseline_path).get("stage_seconds")
+    if not isinstance(baseline, dict) or not baseline:
+        fatal("{} has no stage_seconds object".format(baseline_path))
+    report = load_json(report_path)
+    current = report.get("summary", {}).get("stage_seconds")
+    if not isinstance(current, dict) or not current:
+        fatal("{} has no summary.stage_seconds".format(report_path))
+
+    failures = []
+    for stage, budget in sorted(baseline.items()):
+        if stage not in current:
+            fatal("report is missing stage '{}'".format(stage))
+        seconds = current[stage]
+        if budget < min_seconds:
+            print("check_perf: {:<18} {:8.4f}s (baseline {:.4f}s "
+                  "below noise floor, skipped)".format(
+                      stage, seconds, budget))
+            continue
+        limit = budget * factor
+        status = "ok" if seconds <= limit else "REGRESSED"
+        print("check_perf: {:<18} {:8.4f}s (limit {:.4f}s = {:.1f}x "
+              "baseline {:.4f}s) {}".format(
+                  stage, seconds, limit, factor, budget, status))
+        if seconds > limit:
+            failures.append(stage)
+
+    if failures:
+        fatal("stage(s) regressed beyond {:.1f}x baseline: {}".format(
+            factor, ", ".join(failures)))
+    print("check_perf: all stages within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <optional>
 
+#include "conv/census.hh"
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
 #include "verify/audit_hooks.hh"
@@ -132,7 +134,15 @@ AntPe::runConvStack(const ProblemSpec &spec,
 
     std::unique_ptr<Accumulator> accumulator;
     if (collect_output)
-        accumulator = std::make_unique<Accumulator>(spec);
+        accumulator = std::make_unique<Accumulator>(spec,
+                                                    config_.accumulatorBank);
+
+    // Counting runs classify every issued product; the per-axis
+    // validity tables replace the div/mod chain of spec.isValid in
+    // that hot loop (identical verdicts, see conv/census.hh).
+    std::optional<ValidTable> valid_table;
+    if (!collect_output)
+        valid_table.emplace(spec);
 
     const std::uint32_t n = config_.n;
     const std::uint32_t k = config_.k;
@@ -150,6 +160,13 @@ AntPe::runConvStack(const ProblemSpec &spec,
     std::uint64_t value_elements_read = 0;
     std::uint64_t groups = 0;
     std::vector<Candidate> candidates;
+    // y is monotonic across image groups, so consecutive groups mostly
+    // share one r window: memoize the last candidate stream instead of
+    // re-walking the whole kernel stack per group. Counter-neutral --
+    // the row-pointer walk is still charged per group below.
+    std::int64_t cached_lo = 0;
+    std::int64_t cached_hi = 0;
+    bool cache_filled = false;
     std::vector<std::int64_t> window;
     window.reserve(k);
 
@@ -198,10 +215,16 @@ AntPe::runConvStack(const ProblemSpec &spec,
         // stack back to back, at one row-pointer SRAM access per
         // cycle; for long stacks of small kernels this walk, not the
         // FNIR, bounds the group.
-        candidates.clear();
-        for (const CsrMatrix *kernel : kernels) {
-            appendWindowedCandidates(*kernel, r_range.lo, r_range.hi,
-                                     candidates);
+        if (!cache_filled || cached_lo != r_range.lo ||
+            cached_hi != r_range.hi) {
+            candidates.clear();
+            for (const CsrMatrix *kernel : kernels) {
+                appendWindowedCandidates(*kernel, r_range.lo, r_range.hi,
+                                         candidates);
+            }
+            cached_lo = r_range.lo;
+            cached_hi = r_range.hi;
+            cache_filled = true;
         }
         // A *proper* row window (fewer rows than the kernel) requires
         // the pointer walk; a full window degenerates to sequential
@@ -272,8 +295,8 @@ AntPe::runConvStack(const ProblemSpec &spec,
                         // product without accumulator machinery.
                         for (std::size_t i = ib; i < ie; ++i) {
                             const auto &img = image_entries[i];
-                            if (spec.isValid(img.x, img.y, cand.s,
-                                             cand.r)) {
+                            if (valid_table->valid(img.x, img.y, cand.s,
+                                                   cand.r)) {
                                 ++valid;
                             } else {
                                 ++residual;
@@ -353,7 +376,12 @@ AntPe::runConvStackKernelStationary(
 
     std::unique_ptr<Accumulator> accumulator;
     if (collect_output)
-        accumulator = std::make_unique<Accumulator>(spec);
+        accumulator = std::make_unique<Accumulator>(spec,
+                                                    config_.accumulatorBank);
+
+    std::optional<ValidTable> valid_table;
+    if (!collect_output)
+        valid_table.emplace(spec);
 
     const std::uint32_t n = config_.n;
     const std::uint32_t k = config_.k;
@@ -377,6 +405,11 @@ AntPe::runConvStackKernelStationary(
     std::uint64_t elements_read = 0;
     std::uint64_t groups = 0;
     std::vector<Candidate> candidates;
+    // Consecutive kernel groups often share one y window: memoize the
+    // windowed image stream (counter-neutral, as in runConvStack).
+    std::int64_t cached_lo = 0;
+    std::int64_t cached_hi = 0;
+    bool cache_filled = false;
     std::vector<std::int64_t> window;
     window.reserve(k);
 
@@ -419,9 +452,15 @@ AntPe::runConvStackKernelStationary(
 
         // The controller walks the image's row pointers over the y
         // window (one matrix, so the walk is short).
-        candidates.clear();
-        appendWindowedCandidates(image, y_window.lo, y_window.hi,
-                                 candidates);
+        if (!cache_filled || cached_lo != y_window.lo ||
+            cached_hi != y_window.hi) {
+            candidates.clear();
+            appendWindowedCandidates(image, y_window.lo, y_window.hi,
+                                     candidates);
+            cached_lo = y_window.lo;
+            cached_hi = y_window.hi;
+            cache_filled = true;
+        }
         const bool proper_window =
             y_window.count() < static_cast<std::int64_t>(spec.imageH());
         const std::uint64_t controller_cycles = proper_window
@@ -471,8 +510,8 @@ AntPe::runConvStackKernelStationary(
                         if (accumulator) {
                             accumulator->offer(img.value, img.s, img.r,
                                                ker.value, ker.s, ker.r, c);
-                        } else if (spec.isValid(img.s, img.r, ker.s,
-                                                ker.r)) {
+                        } else if (valid_table->valid(img.s, img.r, ker.s,
+                                                      ker.r)) {
                             ++valid;
                         } else {
                             ++residual;
@@ -534,7 +573,7 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
     image_values.fill(image.nnz());
     image_indices.fill(image.nnz());
 
-    Accumulator accumulator(spec);
+    Accumulator accumulator(spec, config_.accumulatorBank);
 
     const std::uint32_t n = config_.n;
     // CSC traversal: a group of n consecutive entries shares one (or a
@@ -556,6 +595,11 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
     std::uint64_t elements_read = 0;
     std::uint64_t groups = 0;
     std::vector<Candidate> candidates;
+    // The CSC x sequence is monotonic, so consecutive groups mostly
+    // share one row window: memoize the windowed kernel stream.
+    std::int64_t cached_lo = 0;
+    std::int64_t cached_hi = 0;
+    bool cache_filled = false;
 
     for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
         const std::size_t ie = std::min(ib + n, image_entries.size());
@@ -571,9 +615,15 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
             image_entries[ib].x, image_entries[ie - 1].x);
         c.add(Counter::IndexCompares, 2);
 
-        candidates.clear();
-        appendWindowedCandidates(kernel, row_window.lo, row_window.hi,
-                                 candidates);
+        if (!cache_filled || cached_lo != row_window.lo ||
+            cached_hi != row_window.hi) {
+            candidates.clear();
+            appendWindowedCandidates(kernel, row_window.lo, row_window.hi,
+                                     candidates);
+            cached_lo = row_window.lo;
+            cached_hi = row_window.hi;
+            cache_filled = true;
+        }
         if (!row_window.empty()) {
             c.add(Counter::SramRowPtrReads,
                   rowPtrAccesses(1, static_cast<std::uint64_t>(

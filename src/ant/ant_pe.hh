@@ -75,6 +75,8 @@ struct AntPeConfig
     AntDataflow dataflow = AntDataflow::ImageStationary;
     /** Value/index buffer geometry (8 KB, 16-bit elements). */
     SramConfig buffer = SramConfig{};
+    /** Accumulator bank geometry (64 KB, 16-bit partial sums). */
+    SramConfig accumulatorBank = SramConfig::accumulatorBank();
 };
 
 /** The ANT PE: outer-product datapath with RCP anticipation. */

@@ -55,7 +55,6 @@ blockAnticipation(const ProblemSpec &spec, const CsrMatrix &kernel,
     for (std::size_t base = 0; base < image_entries.size(); base += n) {
         const std::size_t group_end =
             std::min(base + n, image_entries.size());
-        const std::size_t group_size = group_end - base;
 
         // Group index extremes (Algorithm 2 lls. 2-5). CSR order makes
         // y monotonic, but x is not, so min/max over both.
@@ -97,7 +96,6 @@ blockAnticipation(const ProblemSpec &spec, const CsrMatrix &kernel,
                 }
             }
         }
-        (void)group_size;
     }
     result.skippedRcps = all_products - result.executedProducts;
     return result;

@@ -1,0 +1,236 @@
+#include "census.hh"
+
+#include <atomic>
+
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace census_stats {
+
+namespace {
+
+std::atomic<std::uint64_t> g_tables_built{0};
+std::atomic<std::uint64_t> g_rect_queries{0};
+
+} // namespace
+
+void
+recordTablesBuilt(std::uint64_t count)
+{
+    g_tables_built.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
+recordRectQueries(std::uint64_t count)
+{
+    g_rect_queries.fetch_add(count, std::memory_order_relaxed);
+}
+
+std::uint64_t
+tablesBuilt()
+{
+    return g_tables_built.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+rectQueries()
+{
+    return g_rect_queries.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    g_tables_built.store(0, std::memory_order_relaxed);
+    g_rect_queries.store(0, std::memory_order_relaxed);
+}
+
+} // namespace census_stats
+
+CensusContext::CensusContext(const ProblemSpec &spec, const CsrMatrix &image)
+    : spec_(spec), kernelW_(spec.kernelW()), imageNnz_(image.nnz())
+{
+    ANT_ASSERT(image.height() == spec.imageH() &&
+                   image.width() == spec.imageW(),
+               "census image plane ", image.height(), "x", image.width(),
+               " does not match spec ", spec.toString());
+
+    if (spec.kind() == ProblemSpec::Kind::Matmul) {
+        // Valid partners of kernel entry (s, r) are the image entries
+        // of column r (Eq. 14): one histogram answers every kernel.
+        entryCounts_.assign(spec.kernelH(), 0);
+        for (std::uint32_t c : image.columns())
+            ++entryCounts_[c];
+        census_stats::recordTablesBuilt(1);
+        return;
+    }
+
+    const std::uint32_t stride = spec.stride();
+    const std::uint64_t dil = spec.dilation();
+    const std::uint32_t img_w = spec.imageW();
+    const std::uint32_t img_h = spec.imageH();
+
+    // Residue-class grid geometry: class (p, q) holds the image cells
+    // with x % stride == p, y % stride == q, downsampled to
+    // (u, v) = (x / stride, y / stride). nu[p] / nv[q] count the grid
+    // columns / rows of each class.
+    std::vector<std::uint32_t> nu(stride), nv(stride);
+    for (std::uint32_t p = 0; p < stride; ++p)
+        nu[p] = p < img_w ? (img_w - p + stride - 1) / stride : 0;
+    for (std::uint32_t q = 0; q < stride; ++q)
+        nv[q] = q < img_h ? (img_h - q + stride - 1) / stride : 0;
+
+    // One flat buffer holds the stride^2 summed-area tables, each with
+    // a zero border row/column so rectangle queries need no branches:
+    // sat[(v+1) * (nu+1) + (u+1)] = non-zeros with coords <= (u, v).
+    std::vector<std::size_t> offset(static_cast<std::size_t>(stride) *
+                                        stride +
+                                    1);
+    for (std::uint32_t q = 0; q < stride; ++q) {
+        for (std::uint32_t p = 0; p < stride; ++p) {
+            const std::size_t cells =
+                static_cast<std::size_t>(nv[q] + 1) * (nu[p] + 1);
+            offset[static_cast<std::size_t>(q) * stride + p + 1] =
+                offset[static_cast<std::size_t>(q) * stride + p] + cells;
+        }
+    }
+    std::vector<std::uint32_t> sat(offset.back(), 0);
+
+    // Scatter the image occupancy into the class grids...
+    const auto &row_ptr = image.rowPtr();
+    const auto &columns = image.columns();
+    for (std::uint32_t y = 0; y < img_h; ++y) {
+        const std::uint32_t q = y % stride;
+        const std::uint32_t v = y / stride;
+        for (std::uint32_t i = row_ptr[y]; i < row_ptr[y + 1]; ++i) {
+            const std::uint32_t x = columns[i];
+            const std::uint32_t p = x % stride;
+            const std::uint32_t u = x / stride;
+            sat[offset[static_cast<std::size_t>(q) * stride + p] +
+                static_cast<std::size_t>(v + 1) * (nu[p] + 1) + (u + 1)] +=
+                1;
+        }
+    }
+    // ...and integrate each class into its summed-area table.
+    for (std::uint32_t q = 0; q < stride; ++q) {
+        for (std::uint32_t p = 0; p < stride; ++p) {
+            std::uint32_t *t =
+                sat.data() + offset[static_cast<std::size_t>(q) * stride + p];
+            const std::size_t cols = nu[p] + 1;
+            for (std::uint32_t v = 1; v <= nv[q]; ++v) {
+                std::uint32_t row_sum = 0;
+                for (std::uint32_t u = 1; u <= nu[p]; ++u) {
+                    row_sum += t[v * cols + u];
+                    t[v * cols + u] = t[(v - 1) * cols + u] + row_sum;
+                }
+            }
+        }
+    }
+    census_stats::recordTablesBuilt(static_cast<std::uint64_t>(stride) *
+                                    stride);
+
+    // Materialize the R*S per-entry counts: one rectangle query each,
+    // shared by every kernel of the stack. Kernel entry (s, r) pairs
+    // with image x iff x >= dil*s, x ≡ dil*s (mod stride), and
+    // (x - dil*s) / stride < outW -- i.e. u in [u0, u0 + outW - 1] on
+    // class column p = dil*s % stride -- and likewise along y.
+    const std::uint32_t kernel_h = spec.kernelH();
+    const std::uint32_t kernel_w = spec.kernelW();
+    entryCounts_.assign(static_cast<std::size_t>(kernel_h) * kernel_w, 0);
+    for (std::uint32_t r = 0; r < kernel_h; ++r) {
+        const std::uint64_t ys = dil * r;
+        const auto q = static_cast<std::uint32_t>(ys % stride);
+        const auto v0 = static_cast<std::uint32_t>(ys / stride);
+        if (v0 >= nv[q])
+            continue;
+        const std::uint32_t v1 =
+            std::min<std::uint64_t>(v0 + spec.outH() - 1, nv[q] - 1);
+        for (std::uint32_t s = 0; s < kernel_w; ++s) {
+            const std::uint64_t xs = dil * s;
+            const auto p = static_cast<std::uint32_t>(xs % stride);
+            const auto u0 = static_cast<std::uint32_t>(xs / stride);
+            if (u0 >= nu[p])
+                continue;
+            const std::uint32_t u1 =
+                std::min<std::uint64_t>(u0 + spec.outW() - 1, nu[p] - 1);
+            const std::uint32_t *t =
+                sat.data() +
+                offset[static_cast<std::size_t>(q) * stride + p];
+            const std::size_t cols = nu[p] + 1;
+            // Inclusive rectangle [u0..u1] x [v0..v1] via the four
+            // border-padded corners.
+            const std::uint64_t count =
+                static_cast<std::uint64_t>(
+                    t[static_cast<std::size_t>(v1 + 1) * cols + (u1 + 1)]) -
+                t[static_cast<std::size_t>(v0) * cols + (u1 + 1)] -
+                t[static_cast<std::size_t>(v1 + 1) * cols + u0] +
+                t[static_cast<std::size_t>(v0) * cols + u0];
+            entryCounts_[static_cast<std::size_t>(r) * kernel_w + s] = count;
+        }
+    }
+    census_stats::recordRectQueries(static_cast<std::uint64_t>(kernel_h) *
+                                    kernel_w);
+}
+
+ProductCensus
+CensusContext::countProducts(const CsrMatrix &kernel) const
+{
+    ProductCensus census;
+    census.denseProducts = spec_.denseCartesianProducts();
+    census.nonzeroProducts =
+        static_cast<std::uint64_t>(kernel.nnz()) * imageNnz_;
+
+    const auto &row_ptr = kernel.rowPtr();
+    if (spec_.kind() == ProblemSpec::Kind::Matmul) {
+        // Row r contributes rowNnz(r) * colNnz(r) valid products; s is
+        // unconstrained (Sec. 5).
+        for (std::uint32_t r = 0; r < kernel.height(); ++r) {
+            census.validProducts +=
+                static_cast<std::uint64_t>(row_ptr[r + 1] - row_ptr[r]) *
+                entryCounts_[r];
+        }
+    } else {
+        const auto &columns = kernel.columns();
+        for (std::uint32_t r = 0; r < kernel.height(); ++r) {
+            const std::uint64_t *row_counts =
+                entryCounts_.data() +
+                static_cast<std::size_t>(r) * kernelW_;
+            for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+                census.validProducts += row_counts[columns[i]];
+        }
+    }
+    census.rcpProducts = census.nonzeroProducts - census.validProducts;
+    census_stats::recordRectQueries(kernel.nnz());
+    return census;
+}
+
+ValidTable::ValidTable(const ProblemSpec &spec)
+    : matmul_(spec.kind() == ProblemSpec::Kind::Matmul),
+      kernelW_(spec.kernelW()), kernelH_(spec.kernelH())
+{
+    if (matmul_)
+        return;
+    const std::uint64_t dil = spec.dilation();
+    const std::uint32_t stride = spec.stride();
+    xOk_.assign(static_cast<std::size_t>(spec.imageW()) * kernelW_, 0);
+    for (std::uint32_t x = 0; x < spec.imageW(); ++x) {
+        for (std::uint32_t s = 0; s < kernelW_; ++s) {
+            const std::int64_t dx = static_cast<std::int64_t>(x) -
+                static_cast<std::int64_t>(dil * s);
+            xOk_[static_cast<std::size_t>(x) * kernelW_ + s] =
+                dx >= 0 && dx % stride == 0 && dx / stride < spec.outW();
+        }
+    }
+    yOk_.assign(static_cast<std::size_t>(spec.imageH()) * kernelH_, 0);
+    for (std::uint32_t y = 0; y < spec.imageH(); ++y) {
+        for (std::uint32_t r = 0; r < kernelH_; ++r) {
+            const std::int64_t dy = static_cast<std::int64_t>(y) -
+                static_cast<std::int64_t>(dil * r);
+            yOk_[static_cast<std::size_t>(y) * kernelH_ + r] =
+                dy >= 0 && dy % stride == 0 && dy / stride < spec.outH();
+        }
+    }
+}
+
+} // namespace antsim

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 
+#include "conv/census.hh"
 #include "report/profiler.hh"
 #include "util/logging.hh"
+#include "workload/trace_cache.hh"
 
 namespace antsim {
 
@@ -141,6 +143,19 @@ profileToJson()
         stages.push(std::move(entry));
     }
     json.set("stages", std::move(stages));
+
+    // Census-engine and trace-cache totals (process-wide; like the
+    // stage timings they live in the profile section only, so the
+    // deterministic report body stays byte-identical whether the cache
+    // or the census fast paths ran).
+    CounterSet census;
+    census.set(Counter::CensusTablesBuilt, census_stats::tablesBuilt());
+    census.set(Counter::CensusRectQueries, census_stats::rectQueries());
+    census.set(Counter::TraceCacheHits, trace_cache::hits());
+    census.set(Counter::TraceCacheMisses, trace_cache::misses());
+    census.set(Counter::TracePlanesGenerated,
+               trace_cache::planesGenerated());
+    json.set("census", counterSetToJson(census));
     return json;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "conv/census.hh"
 #include "conv/outer_product.hh"
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
@@ -32,6 +33,61 @@ stackNnz(const std::vector<const CsrMatrix *> &kernels)
         total += k->nnz();
     return total;
 }
+
+/**
+ * Forward cursor over the merged kernel stream of a stack, yielding
+ * entries in the same order as concatenating each plane's entries()
+ * but without materializing the merged vector.
+ */
+class StackStream
+{
+  public:
+    explicit StackStream(const std::vector<const CsrMatrix *> &kernels)
+        : kernels_(kernels)
+    {
+        rewind();
+    }
+
+    void
+    rewind()
+    {
+        plane_ = 0;
+        pos_ = 0;
+        row_ = 0;
+        skipEmptyPlanes();
+    }
+
+    bool done() const { return plane_ == kernels_.size(); }
+
+    SparseEntry
+    next()
+    {
+        const CsrMatrix &k = *kernels_[plane_];
+        while (pos_ >= k.rowPtr()[row_ + 1])
+            ++row_;
+        const SparseEntry e{k.values()[pos_], k.columns()[pos_], row_};
+        if (++pos_ == k.nnz()) {
+            ++plane_;
+            pos_ = 0;
+            row_ = 0;
+            skipEmptyPlanes();
+        }
+        return e;
+    }
+
+  private:
+    void
+    skipEmptyPlanes()
+    {
+        while (plane_ < kernels_.size() && kernels_[plane_]->nnz() == 0)
+            ++plane_;
+    }
+
+    const std::vector<const CsrMatrix *> &kernels_;
+    std::size_t plane_ = 0;
+    std::uint32_t pos_ = 0;
+    std::uint32_t row_ = 0;
+};
 
 } // namespace
 
@@ -82,18 +138,14 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
     image_values.fill(image.nnz());
     image_indices.fill(image.nnz());
 
-    Accumulator accumulator(spec);
+    Accumulator accumulator(spec, config_.accumulatorBank);
 
     const std::uint32_t n = config_.n;
     const auto image_entries = image.entries();
-    // The merged kernel stream: groups may span plane boundaries.
-    std::vector<SparseEntry> kernel_stream;
-    kernel_stream.reserve(stackNnz(kernels));
-    for (const CsrMatrix *k : kernels) {
-        const auto entries = k->entries();
-        kernel_stream.insert(kernel_stream.end(), entries.begin(),
-                             entries.end());
-    }
+    // The merged kernel stream is walked in place; groups may span
+    // plane boundaries, so buffer one n-entry group at a time.
+    StackStream kernel_stream(kernels);
+    std::vector<SparseEntry> kernel_group(n);
 
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
@@ -106,12 +158,14 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
         image_values.read(igroup, c);
         image_indices.read(igroup, c);
 
-        for (std::size_t kb = 0; kb < kernel_stream.size(); kb += n) {
-            const std::size_t ke = std::min(kb + n, kernel_stream.size());
-            const auto kgroup = static_cast<std::uint32_t>(ke - kb);
+        // The kernel stream is re-fetched for every image group
+        // (image-stationary dataflow).
+        kernel_stream.rewind();
+        while (!kernel_stream.done()) {
+            std::uint32_t kgroup = 0;
+            while (kgroup < n && !kernel_stream.done())
+                kernel_group[kgroup++] = kernel_stream.next();
 
-            // The kernel stream is re-fetched for every image group
-            // (image-stationary dataflow).
             kernel_values.read(kgroup, c);
             kernel_indices.read(kgroup, c);
 
@@ -124,8 +178,8 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
 
             for (std::size_t i = ib; i < ie; ++i) {
                 const auto &img = image_entries[i];
-                for (std::size_t k = kb; k < ke; ++k) {
-                    const auto &ker = kernel_stream[k];
+                for (std::uint32_t k = 0; k < kgroup; ++k) {
+                    const auto &ker = kernel_group[k];
                     accumulator.offer(img.value, img.x, img.y, ker.value,
                                       ker.x, ker.y, c);
                 }
@@ -166,9 +220,12 @@ ScnnPe::runStackCounting(const ProblemSpec &spec,
     // 8-bit indices (Table 4) pack twice as densely as bf16 values.
     const std::uint32_t index_per = 2 * value_per;
 
+    // Image-side census tables are built once for the whole stack;
+    // counting each kernel is then O(nnz_k) (see conv/census.hh).
+    const CensusContext context(spec, image);
     ProductCensus census;
     for (const CsrMatrix *k : kernels)
-        census += countProducts(spec, *k, image);
+        census += context.countProducts(*k);
 
     c.add(Counter::MultsExecuted, census.nonzeroProducts);
     c.add(Counter::MultsValid, census.validProducts);

@@ -38,6 +38,8 @@ struct ScnnPeConfig
     std::uint32_t startupCycles = 5;
     /** Value/index buffer geometry (8 KB, 16-bit elements). */
     SramConfig buffer = SramConfig{};
+    /** Accumulator bank geometry (64 KB, 16-bit partial sums). */
+    SramConfig accumulatorBank = SramConfig::accumulatorBank();
 };
 
 /** SCNN-like PE: full cartesian product, no RCP anticipation. */

@@ -2,12 +2,10 @@
 
 namespace antsim {
 
-Accumulator::Accumulator(const ProblemSpec &spec)
+Accumulator::Accumulator(const ProblemSpec &spec,
+                         const SramConfig &bank_config)
     : spec_(spec), output_(spec.outH(), spec.outW()),
-      bank_("accumulator bank",
-            SramConfig{/*capacityBytes=*/64 * 1024, /*elementBits=*/16,
-                       /*accessBits=*/64},
-            Counter::SramWrites)
+      bank_("accumulator bank", bank_config, Counter::SramWrites)
 {}
 
 bool

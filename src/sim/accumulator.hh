@@ -28,8 +28,14 @@ namespace antsim {
 class Accumulator
 {
   public:
-    /** Construct for one problem's output plane. */
-    explicit Accumulator(const ProblemSpec &spec);
+    /**
+     * Construct for one problem's output plane.
+     * @param bank_config  Bank geometry, plumbed from the owning PE's
+     *                     config so multiplier sweeps scale the bank.
+     */
+    explicit Accumulator(
+        const ProblemSpec &spec,
+        const SramConfig &bank_config = SramConfig::accumulatorBank());
 
     /**
      * Offer one executed product to the accumulator.

@@ -60,6 +60,15 @@ struct SramConfig
         cfg.elementBits = 8;
         return cfg;
     }
+
+    /** Geometry of an accumulator bank (64 KB of 16-bit partial sums). */
+    static SramConfig
+    accumulatorBank()
+    {
+        SramConfig cfg;
+        cfg.capacityBytes = 64 * 1024;
+        return cfg;
+    }
 };
 
 /** Access-counting SRAM buffer. */

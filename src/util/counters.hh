@@ -54,6 +54,16 @@ enum class Counter : unsigned {
     Cycles,
     /** Number of (kernel, image) chunk pairs (tasks) processed. */
     TasksProcessed,
+    /** Census summed-area/histogram tables built (conv/census.hh). */
+    CensusTablesBuilt,
+    /** O(1) census rectangle/histogram queries answered. */
+    CensusRectQueries,
+    /** Trace-cache lookups that reused an already-generated plane. */
+    TraceCacheHits,
+    /** Trace-cache lookups that had to generate the plane. */
+    TraceCacheMisses,
+    /** Sparse planes generated and CSR-compressed. */
+    TracePlanesGenerated,
     NumCounters
 };
 

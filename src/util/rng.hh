@@ -11,6 +11,7 @@
 #ifndef ANTSIM_UTIL_RNG_HH
 #define ANTSIM_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -61,6 +62,17 @@ class Rng
 
     /** Derive an independent child generator (for per-plane streams). */
     Rng split();
+
+    /**
+     * The generator's full 256-bit state. Two Rng objects with equal
+     * state produce identical streams forever; the trace cache
+     * (src/workload/trace_cache) keys planes by the state a generation
+     * would start from and restores the post-generation state on a hit.
+     */
+    std::array<std::uint64_t, 4> state() const;
+
+    /** Restore a state captured by state(). */
+    void setState(const std::array<std::uint64_t, 4> &state);
 
   private:
     std::uint64_t s_[4];

@@ -14,6 +14,20 @@ namespace antsim {
 
 namespace {
 
+/**
+ * Worker count for a network run. The engine's results are
+ * thread-count-invariant by construction (parallel_determinism_test),
+ * so oversubscribing the machine buys nothing and costs context
+ * switches and cache churn in the CPU-bound unit loop -- clamp the
+ * request to the hardware.
+ */
+std::uint32_t
+workerCount(std::uint32_t requested)
+{
+    const std::uint32_t resolved = ThreadPool::resolveThreadCount(requested);
+    return std::min(resolved, ThreadPool::resolveThreadCount(0));
+}
+
 /** Run one generated plane pair through the PE, chunked to capacity. */
 CounterSet
 runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
@@ -105,7 +119,7 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
     std::vector<CsrMatrix> image_chunks;
     {
         const ScopedTimer timer(Stage::PlanBuild);
-        image_chunks = chunkByCapacity(task.image, capacity);
+        image_chunks = chunkByCapacity(*task.image, capacity);
     }
     const ScopedTimer timer(Stage::PeSim);
     for (const CsrMatrix &image_chunk : image_chunks) {
@@ -196,7 +210,7 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     // counters land in the slot keyed by its task index, so nothing
     // downstream depends on scheduling.
     std::vector<CounterSet> unit_counters(units.size());
-    ThreadPool pool(config.numThreads);
+    ThreadPool pool(workerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(0, units.size(), /*grain=*/1,
                      [&](std::uint64_t i, std::uint32_t worker) {
@@ -244,7 +258,7 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
     config.validate();
     NetworkStats stats;
     std::vector<CounterSet> layer_counters(layers.size());
-    ThreadPool pool(config.numThreads);
+    ThreadPool pool(workerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, layers.size(), /*grain=*/1,

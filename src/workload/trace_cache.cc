@@ -1,0 +1,341 @@
+#include "trace_cache.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bfloat16.hh"
+#include "util/logging.hh"
+
+namespace antsim {
+
+namespace {
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_generated{0};
+
+bool
+initialEnabled()
+{
+    const char *env = std::getenv("ANTSIM_TRACE_CACHE");
+    if (env == nullptr)
+        return true;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::atomic<bool> g_enabled{initialEnabled()};
+
+/** Full identity of a cached plane: recipe plus pre-generation state. */
+struct PlaneKey
+{
+    PlaneRecipe recipe;
+    std::array<std::uint64_t, 4> state;
+
+    bool operator==(const PlaneKey &o) const = default;
+};
+
+struct PlaneKeyHash
+{
+    std::size_t
+    operator()(const PlaneKey &key) const
+    {
+        // SplitMix64-style avalanche over every field; the Rng state
+        // words are already well mixed, the geometry words are not.
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        const auto mix = [&h](std::uint64_t v) {
+            h += v + 0x9e3779b97f4a7c15ull;
+            h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+            h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+            h ^= h >> 31;
+        };
+        const PlaneRecipe &r = key.recipe;
+        mix((static_cast<std::uint64_t>(r.height) << 32) | r.width);
+        std::uint64_t sparsity_bits = 0;
+        static_assert(sizeof(sparsity_bits) == sizeof(r.sparsity));
+        std::memcpy(&sparsity_bits, &r.sparsity, sizeof(sparsity_bits));
+        mix(sparsity_bits);
+        mix((static_cast<std::uint64_t>(r.outHeight) << 32) | r.outWidth);
+        mix((static_cast<std::uint64_t>(r.offset) << 32) | r.dilation);
+        mix((static_cast<std::uint64_t>(r.method) << 1) |
+            (r.rotate ? 1 : 0));
+        for (std::uint64_t word : key.state)
+            mix(word);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+struct PlaneEntry
+{
+    std::shared_ptr<const CsrMatrix> plane;
+    /** Rng state after generation, replayed on every hit. */
+    std::array<std::uint64_t, 4> postState;
+};
+
+/** Soft cap on cached payload bytes; inserts stop beyond it. */
+constexpr std::size_t kMaxCachedBytes = 256ull * 1024 * 1024;
+
+/**
+ * The cache is sharded by key hash so concurrent workers (the parallel
+ * runner generates planes from every thread) do not serialize on one
+ * mutex; each shard carries its slice of the byte budget.
+ */
+constexpr std::size_t kShards = 16;
+
+struct Shard
+{
+    std::mutex mutex;
+    std::unordered_map<PlaneKey, PlaneEntry, PlaneKeyHash> planes;
+    std::size_t cachedBytes = 0;
+};
+
+Shard &
+shardFor(std::size_t hash)
+{
+    static std::array<Shard, kShards> shards;
+    return shards[hash % kShards];
+}
+
+std::size_t
+planeBytes(const CsrMatrix &m)
+{
+    return m.values().size() * sizeof(float) +
+        m.columns().size() * sizeof(std::uint32_t) +
+        m.rowPtr().size() * sizeof(std::uint32_t);
+}
+
+/**
+ * Emit one surviving inner-plane value into the CSR arrays under
+ * construction. Quantizes to bf16 exactly where the legacy pipeline
+ * does (after sparsification, before compression) and drops values the
+ * rounding flushed to zero, as fromDense would.
+ */
+inline void
+emitValue(float value, std::uint32_t x, std::uint32_t y,
+          const PlaneRecipe &recipe, std::vector<float> &values,
+          std::vector<std::uint32_t> &columns,
+          std::vector<std::uint32_t> &row_counts)
+{
+    const float quantized = bf16Round(value);
+    if (quantized == 0.0f)
+        return;
+    values.push_back(quantized);
+    columns.push_back(recipe.offset + recipe.dilation * x);
+    ++row_counts[recipe.offset + recipe.dilation * y];
+}
+
+} // namespace
+
+CsrMatrix
+generateCsrPlane(const PlaneRecipe &recipe, Rng &rng)
+{
+    ANT_ASSERT(recipe.height > 0 && recipe.width > 0,
+               "plane recipe needs positive inner dims");
+    ANT_ASSERT(recipe.dilation >= 1, "dilation must be at least 1");
+    ANT_ASSERT(recipe.offset +
+                       recipe.dilation * (recipe.height - 1) <
+                   recipe.outHeight &&
+               recipe.offset + recipe.dilation * (recipe.width - 1) <
+                   recipe.outWidth,
+               "embedded plane does not fit: inner ", recipe.height, "x",
+               recipe.width, " offset ", recipe.offset, " dilation ",
+               recipe.dilation, " into ", recipe.outHeight, "x",
+               recipe.outWidth);
+
+    g_generated.fetch_add(1, std::memory_order_relaxed);
+
+    std::vector<float> values;
+    std::vector<std::uint32_t> columns;
+    // Count entries per embedded row, prefix-summed into rowPtr below.
+    // Thread-local scratch: benchmarks generate hundreds of thousands
+    // of planes per run and the per-plane malloc shows up.
+    static thread_local std::vector<std::uint32_t> row_counts;
+    row_counts.assign(recipe.outHeight + 1, 0);
+
+    if (recipe.method == SparsifyMethod::Bernoulli) {
+        // Same draw sequence as bernoulliPlane: one Bernoulli trial per
+        // cell in row-major order, one normal per surviving cell.
+        const double keep_p = 1.0 - recipe.sparsity;
+        const std::size_t expected = static_cast<std::size_t>(
+            static_cast<double>(recipe.height) * recipe.width * keep_p);
+        values.reserve(expected);
+        columns.reserve(expected);
+        for (std::uint32_t y = 0; y < recipe.height; ++y) {
+            for (std::uint32_t x = 0; x < recipe.width; ++x) {
+                if (!rng.bernoulli(keep_p))
+                    continue;
+                float f = static_cast<float>(rng.normal());
+                if (f == 0.0f)
+                    f = 1e-6f;
+                emitValue(f, x, y, recipe, values, columns, row_counts);
+            }
+        }
+    } else {
+        // Same draw sequence as randomDensePlane: one normal per cell,
+        // then the topKSparsify selection. The kept set is the first
+        // `keep` cells under (magnitude desc, position asc) -- i.e.,
+        // every cell whose magnitude beats the keep-th largest, plus
+        // the earliest-position ties at exactly that threshold -- so a
+        // scalar magnitude nth_element plus a tie budget reproduces the
+        // legacy index-vector selection bit for bit at a fraction of
+        // the memory traffic. Scratch buffers persist per thread: the
+        // miss path runs once per distinct plane but across hundreds of
+        // thousands of planes per benchmark.
+        const std::size_t total =
+            static_cast<std::size_t>(recipe.height) * recipe.width;
+        static thread_local std::vector<float> data;
+        static thread_local std::vector<float> mags;
+        data.resize(total);
+        for (auto &v : data) {
+            float f = static_cast<float>(rng.normal());
+            if (f == 0.0f)
+                f = 1e-6f;
+            v = f;
+        }
+        const auto keep = static_cast<std::size_t>(std::llround(
+            static_cast<double>(total) * (1.0 - recipe.sparsity)));
+        float threshold = 0.0f;
+        std::size_t tie_budget = total;
+        if (keep < total && keep > 0) {
+            mags.resize(total);
+            for (std::size_t i = 0; i < total; ++i)
+                mags[i] = std::fabs(data[i]);
+            std::nth_element(mags.begin(),
+                             mags.begin() +
+                                 static_cast<std::ptrdiff_t>(keep - 1),
+                             mags.end(), std::greater<float>());
+            threshold = mags[keep - 1];
+            // The partition puts every magnitude above the threshold
+            // into the first `keep` slots, so counting strict winners
+            // only needs that prefix.
+            std::size_t above = 0;
+            for (std::size_t i = 0; i < keep; ++i)
+                above += mags[i] > threshold ? 1 : 0;
+            tie_budget = keep - above;
+        }
+        values.reserve(keep);
+        columns.reserve(keep);
+        std::size_t idx = 0;
+        for (std::uint32_t y = 0; y < recipe.height && keep > 0; ++y) {
+            for (std::uint32_t x = 0; x < recipe.width; ++x, ++idx) {
+                const float mag = std::fabs(data[idx]);
+                if (mag < threshold)
+                    continue;
+                if (mag == threshold) {
+                    if (tie_budget == 0)
+                        continue;
+                    --tie_budget;
+                }
+                emitValue(data[idx], x, y, recipe, values, columns,
+                          row_counts);
+            }
+        }
+    }
+
+    // row_counts -> rowPtr (exclusive prefix): shift then accumulate.
+    std::vector<std::uint32_t> row_ptr(recipe.outHeight + 1, 0);
+    for (std::uint32_t y = 0; y < recipe.outHeight; ++y)
+        row_ptr[y + 1] = row_ptr[y] + row_counts[y];
+
+    CsrMatrix plane =
+        CsrMatrix::fromRaw(recipe.outHeight, recipe.outWidth,
+                           std::move(values), std::move(columns),
+                           std::move(row_ptr));
+    return recipe.rotate ? plane.rotated180() : plane;
+}
+
+std::shared_ptr<const CsrMatrix>
+cachedCsrPlane(const PlaneRecipe &recipe, Rng &rng)
+{
+    if (!trace_cache::enabled()) {
+        g_misses.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const CsrMatrix>(
+            generateCsrPlane(recipe, rng));
+    }
+
+    const PlaneKey key{recipe, rng.state()};
+    Shard &shard = shardFor(PlaneKeyHash{}(key));
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.planes.find(key);
+        if (it != shard.planes.end()) {
+            g_hits.fetch_add(1, std::memory_order_relaxed);
+            rng.setState(it->second.postState);
+            return it->second.plane;
+        }
+    }
+
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    auto plane =
+        std::make_shared<const CsrMatrix>(generateCsrPlane(recipe, rng));
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::size_t bytes = planeBytes(*plane);
+    if (shard.cachedBytes + bytes <= kMaxCachedBytes / kShards) {
+        // First insert wins: a racing generator produced the identical
+        // plane, so keeping either is correct.
+        const auto [it, inserted] =
+            shard.planes.try_emplace(key, PlaneEntry{plane, rng.state()});
+        if (inserted)
+            shard.cachedBytes += bytes;
+        return it->second.plane;
+    }
+    return plane;
+}
+
+namespace trace_cache {
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+hits()
+{
+    return g_hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+misses()
+{
+    return g_misses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+planesGenerated()
+{
+    return g_generated.load(std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    for (std::size_t s = 0; s < kShards; ++s) {
+        Shard &shard = shardFor(s);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.planes.clear();
+        shard.cachedBytes = 0;
+    }
+    g_hits.store(0, std::memory_order_relaxed);
+    g_misses.store(0, std::memory_order_relaxed);
+    g_generated.store(0, std::memory_order_relaxed);
+}
+
+} // namespace trace_cache
+
+} // namespace antsim

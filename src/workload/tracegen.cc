@@ -3,8 +3,48 @@
 #include "tensor/sparsify.hh"
 #include "util/bfloat16.hh"
 #include "util/logging.hh"
+#include "workload/trace_cache.hh"
 
 namespace antsim {
+
+namespace {
+
+/** Recipe of a conv phase's image plane (padding/dilation included). */
+PlaneRecipe
+convImageRecipe(const ConvLayer &layer, TrainingPhase phase,
+                const SparsityProfile &profile, const PhaseSpecs &specs)
+{
+    const ProblemSpec &fwd = specs.forward;
+    if (phase == TrainingPhase::Backward) {
+        // Zero-dilate the gradient by the forward stride and center it
+        // in the backward image (the re-padding).
+        const ProblemSpec &bwd = specs.backward;
+        const std::uint32_t gh = layer.stride * (fwd.outH() - 1) + 1;
+        const std::uint32_t offset = (bwd.imageH() - gh) / 2;
+        return {fwd.outH(), fwd.outW(), profile.grad, profile.method,
+                bwd.imageH(), bwd.imageW(), offset, layer.stride, false};
+    }
+    return {layer.inH, layer.inW, profile.act, profile.method,
+            layer.paddedH(), layer.paddedW(), layer.pad, 1, false};
+}
+
+/** Recipe of one kernel-stack plane of a conv phase. */
+PlaneRecipe
+convKernelRecipe(const ConvLayer &layer, TrainingPhase phase,
+                 const SparsityProfile &profile, const PhaseSpecs &specs)
+{
+    const ProblemSpec &fwd = specs.forward;
+    if (phase == TrainingPhase::Update) {
+        return PlaneRecipe::plain(fwd.outH(), fwd.outW(), profile.grad,
+                                  profile.method);
+    }
+    PlaneRecipe recipe = PlaneRecipe::plain(
+        layer.kernel, layer.kernel, profile.weight, profile.method);
+    recipe.rotate = phase == TrainingPhase::Backward;
+    return recipe;
+}
+
+} // namespace
 
 std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
@@ -60,48 +100,20 @@ makeConvPhasePair(const ConvLayer &layer, TrainingPhase phase,
                   const SparsityProfile &profile, Rng &rng)
 {
     const PhaseSpecs specs = layer.phaseSpecs();
-    const ProblemSpec &fwd = specs.forward;
-
+    // Kernel plane first, then image: the draw order the per-pair API
+    // has always used (the fused CSR generator consumes the identical
+    // random stream as the legacy dense pipeline).
+    CsrMatrix kernel = generateCsrPlane(
+        convKernelRecipe(layer, phase, profile, specs), rng);
+    CsrMatrix image = generateCsrPlane(
+        convImageRecipe(layer, phase, profile, specs), rng);
     switch (phase) {
-      case TrainingPhase::Forward: {
-        Dense2d<float> w = generatePlane(layer.kernel, layer.kernel,
-                                         profile.weight, profile.method,
-                                         rng);
-        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
-                                         profile.method, rng);
-        return {fwd, CsrMatrix::fromDense(w),
-                CsrMatrix::fromDense(embedPlane(a, layer.paddedH(),
-                                                layer.paddedW(),
-                                                layer.pad))};
-      }
-      case TrainingPhase::Backward: {
-        Dense2d<float> w = generatePlane(layer.kernel, layer.kernel,
-                                         profile.weight, profile.method,
-                                         rng);
-        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
-                                          profile.grad, profile.method,
-                                          rng);
-        const ProblemSpec &bwd = specs.backward;
-        // Zero-dilate the gradient by the forward stride and center it
-        // in the backward image (the re-padding).
-        const std::uint32_t gh = layer.stride * (fwd.outH() - 1) + 1;
-        const std::uint32_t offset = (bwd.imageH() - gh) / 2;
-        return {bwd, CsrMatrix::fromDense(w).rotated180(),
-                CsrMatrix::fromDense(embedPlane(ga, bwd.imageH(),
-                                                bwd.imageW(), offset,
-                                                layer.stride))};
-      }
-      case TrainingPhase::Update: {
-        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
-                                          profile.grad, profile.method,
-                                          rng);
-        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
-                                         profile.method, rng);
-        return {specs.update, CsrMatrix::fromDense(ga),
-                CsrMatrix::fromDense(embedPlane(a, layer.paddedH(),
-                                                layer.paddedW(),
-                                                layer.pad))};
-      }
+      case TrainingPhase::Forward:
+        return {specs.forward, std::move(kernel), std::move(image)};
+      case TrainingPhase::Backward:
+        return {specs.backward, std::move(kernel), std::move(image)};
+      case TrainingPhase::Update:
+        return {specs.update, std::move(kernel), std::move(image)};
     }
     ANT_PANIC("unknown training phase");
 }
@@ -117,65 +129,40 @@ StackTask
 makeConvPhaseTask(const ConvLayer &layer, TrainingPhase phase,
                   const SparsityProfile &profile, Rng &rng)
 {
+    // Image plane first, then the kernel stack -- the draw order this
+    // API has always used. Planes go through the trace cache: a repeat
+    // of the same (seed stream, recipe) reuses the shared plane and
+    // fast-forwards rng as if it had generated.
+    //
+    //  - forward:  task per input channel c -- image = A[c], kernels =
+    //    W[k][c] for every output channel k;
+    //  - backward: task per output channel k -- image = dilated
+    //    G_A[k], kernels = rotated W[k][c] for every input channel c;
+    //  - update:   task per input channel c -- image = A[c], kernels =
+    //    G_A[k] for every output channel k.
     const PhaseSpecs specs = layer.phaseSpecs();
-    const ProblemSpec &fwd = specs.forward;
+    const PlaneRecipe image_recipe =
+        convImageRecipe(layer, phase, profile, specs);
+    const PlaneRecipe kernel_recipe =
+        convKernelRecipe(layer, phase, profile, specs);
+
+    std::shared_ptr<const CsrMatrix> image =
+        cachedCsrPlane(image_recipe, rng);
+    const std::uint32_t stack_size = phase == TrainingPhase::Backward
+        ? layer.inChannels
+        : layer.outChannels;
+    std::vector<std::shared_ptr<const CsrMatrix>> kernels;
+    kernels.reserve(stack_size);
+    for (std::uint32_t i = 0; i < stack_size; ++i)
+        kernels.push_back(cachedCsrPlane(kernel_recipe, rng));
 
     switch (phase) {
-      case TrainingPhase::Forward: {
-        // Task per input channel c: image = A[c], kernels = W[k][c]
-        // for every output channel k.
-        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
-                                         profile.method, rng);
-        CsrMatrix image = CsrMatrix::fromDense(
-            embedPlane(a, layer.paddedH(), layer.paddedW(), layer.pad));
-        std::vector<CsrMatrix> kernels;
-        kernels.reserve(layer.outChannels);
-        for (std::uint32_t k = 0; k < layer.outChannels; ++k) {
-            kernels.push_back(CsrMatrix::fromDense(
-                generatePlane(layer.kernel, layer.kernel, profile.weight,
-                              profile.method, rng)));
-        }
-        return {fwd, std::move(kernels), std::move(image)};
-      }
-      case TrainingPhase::Backward: {
-        // Task per output channel k: image = dilated G_A[k], kernels =
-        // rotated W[k][c] for every input channel c.
-        const ProblemSpec &bwd = specs.backward;
-        Dense2d<float> ga = generatePlane(fwd.outH(), fwd.outW(),
-                                          profile.grad, profile.method,
-                                          rng);
-        const std::uint32_t gh = layer.stride * (fwd.outH() - 1) + 1;
-        const std::uint32_t offset = (bwd.imageH() - gh) / 2;
-        CsrMatrix image = CsrMatrix::fromDense(
-            embedPlane(ga, bwd.imageH(), bwd.imageW(), offset,
-                       layer.stride));
-        std::vector<CsrMatrix> kernels;
-        kernels.reserve(layer.inChannels);
-        for (std::uint32_t c = 0; c < layer.inChannels; ++c) {
-            kernels.push_back(
-                CsrMatrix::fromDense(
-                    generatePlane(layer.kernel, layer.kernel,
-                                  profile.weight, profile.method, rng))
-                    .rotated180());
-        }
-        return {bwd, std::move(kernels), std::move(image)};
-      }
-      case TrainingPhase::Update: {
-        // Task per input channel c: image = A[c], kernels = G_A[k] for
-        // every output channel k.
-        Dense2d<float> a = generatePlane(layer.inH, layer.inW, profile.act,
-                                         profile.method, rng);
-        CsrMatrix image = CsrMatrix::fromDense(
-            embedPlane(a, layer.paddedH(), layer.paddedW(), layer.pad));
-        std::vector<CsrMatrix> kernels;
-        kernels.reserve(layer.outChannels);
-        for (std::uint32_t k = 0; k < layer.outChannels; ++k) {
-            kernels.push_back(CsrMatrix::fromDense(
-                generatePlane(fwd.outH(), fwd.outW(), profile.grad,
-                              profile.method, rng)));
-        }
+      case TrainingPhase::Forward:
+        return {specs.forward, std::move(kernels), std::move(image)};
+      case TrainingPhase::Backward:
+        return {specs.backward, std::move(kernels), std::move(image)};
+      case TrainingPhase::Update:
         return {specs.update, std::move(kernels), std::move(image)};
-      }
     }
     ANT_PANIC("unknown training phase");
 }
@@ -184,12 +171,14 @@ PlanePair
 makeMatmulPair(const MatmulLayer &layer, double sparsity,
                SparsifyMethod method, Rng &rng)
 {
-    Dense2d<float> image = generatePlane(layer.imageH, layer.imageW,
-                                         sparsity, method, rng);
-    Dense2d<float> kernel = generatePlane(layer.kernelR, layer.kernelS,
-                                          sparsity, method, rng);
-    return {layer.spec(), CsrMatrix::fromDense(kernel),
-            CsrMatrix::fromDense(image)};
+    // Image first, then kernel: the legacy draw order.
+    CsrMatrix image = generateCsrPlane(
+        PlaneRecipe::plain(layer.imageH, layer.imageW, sparsity, method),
+        rng);
+    CsrMatrix kernel = generateCsrPlane(
+        PlaneRecipe::plain(layer.kernelR, layer.kernelS, sparsity, method),
+        rng);
+    return {layer.spec(), std::move(kernel), std::move(image)};
 }
 
 } // namespace antsim

@@ -24,6 +24,7 @@
 #define ANTSIM_WORKLOAD_TRACEGEN_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "tensor/csr.hh"
 #include "util/rng.hh"
@@ -104,8 +105,12 @@ struct PlanePair
 struct StackTask
 {
     ProblemSpec spec;
-    std::vector<CsrMatrix> kernels;
-    CsrMatrix image;
+    /**
+     * Immutable shared planes: tasks from the trace cache alias the
+     * cached planes instead of owning copies (src/workload/trace_cache).
+     */
+    std::vector<std::shared_ptr<const CsrMatrix>> kernels;
+    std::shared_ptr<const CsrMatrix> image;
 
     /** Borrowed pointer view for PeModel::runStack. */
     std::vector<const CsrMatrix *>
@@ -114,7 +119,7 @@ struct StackTask
         std::vector<const CsrMatrix *> ptrs;
         ptrs.reserve(kernels.size());
         for (const auto &k : kernels)
-            ptrs.push_back(&k);
+            ptrs.push_back(k.get());
         return ptrs;
     }
 };

@@ -92,9 +92,9 @@ TEST(Clone, RunStackCountersMatchOriginal)
     for (const auto &pe : allPeModels()) {
         const auto replica = pe->clone();
         const PeResult original =
-            pe->runStack(task.spec, kernels, task.image, false);
+            pe->runStack(task.spec, kernels, *task.image, false);
         const PeResult cloned =
-            replica->runStack(task.spec, kernels, task.image, false);
+            replica->runStack(task.spec, kernels, *task.image, false);
         expectIdenticalCounters(original.counters, cloned.counters,
                                 pe->name());
     }

@@ -292,10 +292,10 @@ TEST(StackTask, ForwardTaskShape)
     const StackTask task = makeConvPhaseTask(
         layer, TrainingPhase::Forward, SparsityProfile::swat(0.9), rng);
     EXPECT_EQ(task.kernels.size(), 16u);
-    EXPECT_EQ(task.image.height(), 16u);
+    EXPECT_EQ(task.image->height(), 16u);
     EXPECT_EQ(task.kernelPtrs().size(), 16u);
     for (const auto &k : task.kernels)
-        EXPECT_EQ(k.height(), 3u);
+        EXPECT_EQ(k->height(), 3u);
 }
 
 TEST(StackTask, UpdateTaskShape)
@@ -305,7 +305,7 @@ TEST(StackTask, UpdateTaskShape)
     const StackTask task = makeConvPhaseTask(
         layer, TrainingPhase::Update, SparsityProfile::swat(0.9), rng);
     EXPECT_EQ(task.kernels.size(), 16u);
-    EXPECT_EQ(task.kernels[0].height(), 14u);
+    EXPECT_EQ(task.kernels[0]->height(), 14u);
     EXPECT_EQ(task.spec.outH(), 3u);
 }
 
@@ -317,7 +317,7 @@ TEST(StackTask, BackwardTaskShape)
         layer, TrainingPhase::Backward, SparsityProfile::swat(0.9), rng);
     // One gradient image, a rotated-weight kernel per input channel.
     EXPECT_EQ(task.kernels.size(), 8u);
-    EXPECT_EQ(task.image.height(), 16u);
+    EXPECT_EQ(task.image->height(), 16u);
 }
 
 } // namespace

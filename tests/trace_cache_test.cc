@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Trace-cache determinism tests: the plane cache must be invisible to
+ * every simulation result. NetworkStats (and their JSON serialization)
+ * must be byte-identical with the cache on or off and across thread
+ * counts, the Rng must be left in the identical post-generation state
+ * on a hit as on a miss, and the hit/miss statistics must add up.
+ * Audits are forced on (audit_env.cc), so the cached-plane runs also
+ * satisfy every invariant audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ant/ant_pe.hh"
+#include "report/report.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+#include "workload/trace_cache.hh"
+#include "workload/tracegen.hh"
+
+namespace antsim {
+namespace {
+
+/** Restore the process-wide cache toggle on scope exit. */
+class CacheToggleGuard
+{
+  public:
+    CacheToggleGuard() : saved_(trace_cache::enabled()) {}
+    ~CacheToggleGuard() { trace_cache::setEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+std::vector<ConvLayer>
+testNetwork()
+{
+    return {{"c0", 3, 4, 12, 12, 3, 1, 1}, {"c1", 4, 4, 12, 12, 3, 2, 1}};
+}
+
+/** Full byte-level serialization of the stats (the golden artifact). */
+std::string
+statsBytes(const NetworkStats &stats)
+{
+    return networkStatsToJson(stats, 64).dump();
+}
+
+NetworkStats
+runNet(PeModel &pe, std::uint32_t threads)
+{
+    RunConfig config;
+    config.sampleCap = 2;
+    config.numThreads = threads;
+    return runConvNetwork(pe, testNetwork(), SparsityProfile::swat(0.9),
+                          config);
+}
+
+TEST(TraceCache, NetworkStatsIdenticalCacheOnAndOff)
+{
+    const CacheToggleGuard guard;
+    ScnnPe scnn;
+    AntPe ant;
+    for (PeModel *pe : {static_cast<PeModel *>(&scnn),
+                        static_cast<PeModel *>(&ant)}) {
+        trace_cache::setEnabled(false);
+        trace_cache::reset();
+        const std::string cold = statsBytes(runNet(*pe, 1));
+
+        trace_cache::setEnabled(true);
+        trace_cache::reset();
+        const std::string warm_first = statsBytes(runNet(*pe, 1));
+        // Second run hits the now-populated cache for every plane.
+        const std::string warm_second = statsBytes(runNet(*pe, 1));
+
+        EXPECT_EQ(cold, warm_first) << pe->name();
+        EXPECT_EQ(cold, warm_second) << pe->name();
+        EXPECT_GT(trace_cache::hits(), 0u) << pe->name();
+    }
+}
+
+TEST(TraceCache, NetworkStatsIdenticalAcrossThreadCounts)
+{
+    const CacheToggleGuard guard;
+    trace_cache::setEnabled(true);
+    trace_cache::reset();
+    ScnnPe pe;
+    const std::string serial = statsBytes(runNet(pe, 1));
+    const std::string parallel = statsBytes(runNet(pe, 4));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(TraceCache, HitAndMissStatisticsAddUp)
+{
+    const CacheToggleGuard guard;
+    trace_cache::setEnabled(true);
+    trace_cache::reset();
+
+    const ConvLayer layer{"c", 3, 4, 10, 10, 3, 1, 1};
+    Rng rng_a(mixSeed(7, 0, 0, 0));
+    const StackTask first = makeConvPhaseTask(
+        layer, TrainingPhase::Forward, SparsityProfile::swat(0.8), rng_a);
+    const std::uint64_t cold_misses = trace_cache::misses();
+    EXPECT_EQ(trace_cache::hits(), 0u);
+    // image + one kernel per output channel, every one distinct.
+    EXPECT_EQ(cold_misses, 1u + layer.outChannels);
+    EXPECT_EQ(trace_cache::planesGenerated(), cold_misses);
+
+    // Identical seed stream: every plane lookup now hits.
+    Rng rng_b(mixSeed(7, 0, 0, 0));
+    const StackTask second = makeConvPhaseTask(
+        layer, TrainingPhase::Forward, SparsityProfile::swat(0.8), rng_b);
+    EXPECT_EQ(trace_cache::misses(), cold_misses);
+    EXPECT_EQ(trace_cache::hits(), cold_misses);
+    EXPECT_EQ(trace_cache::planesGenerated(), cold_misses);
+
+    // The hit must alias the cached plane, not copy it.
+    EXPECT_EQ(first.image.get(), second.image.get());
+    ASSERT_EQ(first.kernels.size(), second.kernels.size());
+    for (std::size_t i = 0; i < first.kernels.size(); ++i)
+        EXPECT_EQ(first.kernels[i].get(), second.kernels[i].get());
+    // And the downstream random streams stay aligned.
+    EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+TEST(TraceCache, HitRestoresExactPostGenerationRngState)
+{
+    const CacheToggleGuard guard;
+    const PlaneRecipe recipe =
+        PlaneRecipe::plain(7, 9, 0.6, SparsifyMethod::Bernoulli);
+
+    // Reference: a plain generation with the cache disabled.
+    trace_cache::setEnabled(false);
+    Rng reference(1234);
+    const auto cold = cachedCsrPlane(recipe, reference);
+
+    // Miss then hit with the cache enabled, same starting state.
+    trace_cache::setEnabled(true);
+    trace_cache::reset();
+    Rng miss_rng(1234);
+    const auto missed = cachedCsrPlane(recipe, miss_rng);
+    Rng hit_rng(1234);
+    const auto hit = cachedCsrPlane(recipe, hit_rng);
+
+    EXPECT_EQ(trace_cache::misses(), 1u);
+    EXPECT_EQ(trace_cache::hits(), 1u);
+    EXPECT_TRUE(*cold == *missed);
+    EXPECT_TRUE(*cold == *hit);
+    EXPECT_EQ(reference.state(), miss_rng.state());
+    EXPECT_EQ(reference.state(), hit_rng.state());
+    EXPECT_EQ(missed.get(), hit.get());
+}
+
+TEST(TraceCache, DisabledCacheNeverAliases)
+{
+    const CacheToggleGuard guard;
+    trace_cache::setEnabled(false);
+    trace_cache::reset();
+    const PlaneRecipe recipe =
+        PlaneRecipe::plain(5, 5, 0.5, SparsifyMethod::TopK);
+    Rng rng_a(42);
+    Rng rng_b(42);
+    const auto a = cachedCsrPlane(recipe, rng_a);
+    const auto b = cachedCsrPlane(recipe, rng_b);
+    EXPECT_EQ(trace_cache::hits(), 0u);
+    EXPECT_EQ(trace_cache::misses(), 2u);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_TRUE(*a == *b);
+}
+
+} // namespace
+} // namespace antsim
