@@ -110,7 +110,7 @@ main(int argc, char **argv)
             bench::reportMetric(prefix + ".speedup", speedup);
         }
         bench::reportNetwork(std::string(name) + "/resnet18",
-                             serial_stats, options);
+                             serial_stats, *pe, options);
     }
     bench::emitTable(table, options);
 

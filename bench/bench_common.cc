@@ -5,7 +5,9 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "sim/energy.hh"
+#include "sim/pe_model.hh"
 #include "util/audit.hh"
 #include "util/logging.hh"
 #include "workload/trace_cache.hh"
@@ -46,12 +48,21 @@ BenchOptions
 parseOptions(int argc, const char *const *argv,
              const std::vector<std::string> &extra_flags, Cli **cli_out)
 {
-    std::vector<std::string> known = {"samples", "seed",    "pes",
-                                      "csv",     "chunk",   "audit",
-                                      "threads", "json",    "networks",
-                                      "trace-cache"};
+    std::vector<std::string> known = {"samples",     "seed",      "pes",
+                                      "csv",         "chunk",     "audit",
+                                      "threads",     "json",      "networks",
+                                      "trace-cache", "trace-out", "log-level"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+    // Environment first, flags after: --log-level wins over
+    // ANTSIM_LOG_LEVEL, --trace-out wins over ANTSIM_TRACE.
+    initLogLevelFromEnv();
     g_cli = std::make_unique<Cli>(argc, argv, known);
+    if (g_cli->has("log-level")) {
+        const std::string level = g_cli->get("log-level");
+        if (level == "true")
+            ANT_FATAL("flag --log-level expects error, warn, info, or debug");
+        setLogLevel(parseLogLevel(level));
+    }
 
     BenchOptions options;
     options.run.sampleCap = getCount(*g_cli, "samples", 16);
@@ -82,6 +93,16 @@ parseOptions(int argc, const char *const *argv,
             ANT_FATAL("flag --json expects an output path");
     }
     options.networksFilter = g_cli->get("networks");
+    if (g_cli->has("trace-out")) {
+        options.traceOutPath = g_cli->get("trace-out");
+        if (options.traceOutPath == "true")
+            ANT_FATAL("flag --trace-out expects an output path");
+    } else if (const char *env = std::getenv("ANTSIM_TRACE");
+               env != nullptr && env[0] != '\0') {
+        options.traceOutPath = env;
+    }
+    if (!options.traceOutPath.empty())
+        obs::setEnabled(true);
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);
     // --trace-cache=false turns the plane cache off (A/B timing runs);
@@ -136,7 +157,11 @@ runNetwork(PeModel &pe, const NamedNetwork &network, double target_sparsity,
     const SparsityProfile profile = network.syntheticTopK
         ? SparsityProfile::topK(target_sparsity)
         : SparsityProfile::swat(target_sparsity);
-    return runConvNetwork(pe, network.layers, profile, config);
+    // Label the trace run and heartbeat lines after the model and
+    // network; the label never influences simulation results.
+    RunConfig labeled = config;
+    labeled.runLabel = pe.name() + "/" + network.name;
+    return runConvNetwork(pe, network.layers, profile, labeled);
 }
 
 RunReport &
@@ -162,6 +187,15 @@ reportNetwork(const std::string &name, const NetworkStats &stats,
               const BenchOptions &options)
 {
     g_report.addNetwork(name, stats, options.run.numPes);
+}
+
+void
+reportNetwork(const std::string &name, const NetworkStats &stats,
+              const PeModel &pe, const BenchOptions &options)
+{
+    g_report.addNetwork(name, stats, options.run.numPes);
+    g_report.addStallAttribution(name, stats, pe.name(),
+                                 pe.multiplierCount());
 }
 
 std::vector<NamedNetwork>
@@ -215,6 +249,11 @@ finish(const BenchOptions &options)
     metadata.audit = audit::enabled();
     g_report.setMetadata(std::move(metadata));
 
+    if (obs::enabled())
+        g_report.setHistograms(obs::globalSink().mergedHistograms());
+    if (!options.traceOutPath.empty())
+        obs::globalSink().writeChromeJson(options.traceOutPath,
+                                          options.run.numPes);
     if (!options.jsonPath.empty()) {
         g_report.writeJson(options.jsonPath);
         std::printf("[report] wrote %s\n", options.jsonPath.c_str());

@@ -20,6 +20,12 @@
  *                 networks; an empty selection is a fatal error
  *   --audit       run the invariant audits (src/verify) on every
  *                 model execution; violations abort the bench
+ *   --trace-out path  write the simulated-time Chrome trace (src/obs,
+ *                 docs/OBSERVABILITY.md) to @p path; defaults to the
+ *                 ANTSIM_TRACE environment variable when set
+ *   --log-level L verbosity: error, warn (default), info (adds the
+ *                 progress heartbeat), or debug; defaults to the
+ *                 ANTSIM_LOG_LEVEL environment variable when set
  *
  * Besides printing, every table, key metric, and network run is
  * recorded in a process-wide RunReport; main() ends with
@@ -53,6 +59,12 @@ struct BenchOptions
     std::string jsonPath;
     /** Comma-separated network-name filter (--networks). */
     std::string networksFilter;
+    /**
+     * Write the simulated-time Chrome trace here when non-empty
+     * (--trace-out path, or the ANTSIM_TRACE environment variable).
+     * A non-empty path enables tracing for the whole run.
+     */
+    std::string traceOutPath;
 };
 
 /**
@@ -87,6 +99,15 @@ void reportMetric(const std::string &name, std::uint64_t value);
 /** Record a full network run in the run report. */
 void reportNetwork(const std::string &name, const NetworkStats &stats,
                    const BenchOptions &options);
+
+/**
+ * Record a full network run plus its per-layer stall-attribution table
+ * (active / startup / idle-scan / imbalance + multiplier utilization,
+ * derived from @p pe's name and multiplier count). Prefer this
+ * overload whenever the PE model is at hand.
+ */
+void reportNetwork(const std::string &name, const NetworkStats &stats,
+                   const PeModel &pe, const BenchOptions &options);
 
 /**
  * Apply the --networks filter to a network suite. Unknown names and

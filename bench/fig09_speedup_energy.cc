@@ -52,8 +52,9 @@ main(int argc, char **argv)
                       Table::percent(ant_stats.rcpAvoidedFraction(), 1)});
         bench::reportMetric("speedup." + network.name, speedup);
         bench::reportMetric("energy_reduction." + network.name, ratio);
-        bench::reportNetwork("scnn/" + network.name, scnn_stats, options);
-        bench::reportNetwork("ant/" + network.name, ant_stats, options);
+        bench::reportNetwork("scnn/" + network.name, scnn_stats, scnn,
+                             options);
+        bench::reportNetwork("ant/" + network.name, ant_stats, ant, options);
     }
     bench::reportMetric("speedup_geomean", geomean(speedups));
     bench::reportMetric("energy_reduction_geomean", geomean(energy_ratios));

@@ -38,7 +38,7 @@ main(int argc, char **argv)
              std::to_string(stats.total.get(Counter::RcpsAvoided))});
         bench::reportMetric("rcp_avoided." + network.name,
                             stats.rcpAvoidedFraction());
-        bench::reportNetwork("ant/" + network.name, stats, options);
+        bench::reportNetwork("ant/" + network.name, stats, ant, options);
     }
     bench::reportMetric("rcp_avoided_mean", mean(fractions));
     table.addRow({"mean", Table::percent(mean(fractions), 1), "-", "-"});

@@ -12,6 +12,11 @@ stage and the check fails if any stage exceeds factor * baseline
 enough to catch an accidental revert of the census/trace-cache fast
 paths).
 
+The comparison is printed as a per-stage delta table (baseline vs
+current, % change, limit, verdict); when the GITHUB_STEP_SUMMARY
+environment variable points at a writable file (GitHub Actions job
+summary), the same table is appended there as markdown.
+
 Stages whose baseline is below --min-seconds (default 0.05) are skipped:
 sub-50ms stages are timer noise, not signal.
 
@@ -20,6 +25,7 @@ CI runner deliberately have no third-party packages installed.
 """
 
 import json
+import os
 import sys
 
 
@@ -51,6 +57,71 @@ def parse_flag(args, name, default):
     return default
 
 
+def build_rows(baseline, current, factor, min_seconds):
+    """One row per baseline stage:
+    (stage, baseline_s, current_s, delta_pct, limit_s, verdict)."""
+    rows = []
+    for stage, budget in sorted(baseline.items()):
+        if stage not in current:
+            fatal("report is missing stage '{}'".format(stage))
+        seconds = current[stage]
+        delta = ((seconds - budget) / budget * 100.0) if budget > 0 else 0.0
+        if budget < min_seconds:
+            verdict = "skipped (noise floor)"
+        elif seconds <= budget * factor:
+            verdict = "ok"
+        else:
+            verdict = "REGRESSED"
+        rows.append((stage, budget, seconds, delta, budget * factor,
+                     verdict))
+    return rows
+
+
+def print_table(rows, factor):
+    header = ("stage", "baseline (s)", "current (s)", "delta",
+              "limit {:.1f}x (s)".format(factor), "verdict")
+    widths = [max(len(header[i]), 18 if i == 0 else 14)
+              for i in range(len(header))]
+    line = "  ".join("{:<{}}".format(header[i], widths[i])
+                     for i in range(len(header)))
+    print("check_perf: " + line)
+    print("check_perf: " + "-" * len(line))
+    for stage, budget, seconds, delta, limit, verdict in rows:
+        cells = (stage, "{:.4f}".format(budget), "{:.4f}".format(seconds),
+                 "{:+.1f}%".format(delta), "{:.4f}".format(limit), verdict)
+        print("check_perf: " + "  ".join(
+            "{:<{}}".format(cells[i], widths[i])
+            for i in range(len(cells))))
+
+
+def write_job_summary(rows, factor, report_path):
+    """Append the delta table as markdown to the GitHub job summary."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### Perf check: stage timings vs baseline",
+        "",
+        "Report: `{}` -- limit = {:.1f}x baseline".format(
+            report_path, factor),
+        "",
+        "| Stage | Baseline (s) | Current (s) | Delta | Verdict |",
+        "| --- | ---: | ---: | ---: | --- |",
+    ]
+    for stage, budget, seconds, delta, _limit, verdict in rows:
+        mark = ":x: " if verdict == "REGRESSED" else ""
+        lines.append("| {} | {:.4f} | {:.4f} | {:+.1f}% | {}{} |".format(
+            stage, budget, seconds, delta, mark, verdict))
+    lines.append("")
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as err:
+        # The summary is a convenience; never fail the check over it.
+        print("check_perf: warning: cannot write job summary: {}".format(
+            err), file=sys.stderr)
+
+
 def main(argv):
     args = list(argv[1:])
     factor = parse_flag(args, "--factor", 2.0)
@@ -68,24 +139,11 @@ def main(argv):
     if not isinstance(current, dict) or not current:
         fatal("{} has no summary.stage_seconds".format(report_path))
 
-    failures = []
-    for stage, budget in sorted(baseline.items()):
-        if stage not in current:
-            fatal("report is missing stage '{}'".format(stage))
-        seconds = current[stage]
-        if budget < min_seconds:
-            print("check_perf: {:<18} {:8.4f}s (baseline {:.4f}s "
-                  "below noise floor, skipped)".format(
-                      stage, seconds, budget))
-            continue
-        limit = budget * factor
-        status = "ok" if seconds <= limit else "REGRESSED"
-        print("check_perf: {:<18} {:8.4f}s (limit {:.4f}s = {:.1f}x "
-              "baseline {:.4f}s) {}".format(
-                  stage, seconds, limit, factor, budget, status))
-        if seconds > limit:
-            failures.append(stage)
+    rows = build_rows(baseline, current, factor, min_seconds)
+    print_table(rows, factor)
+    write_job_summary(rows, factor, report_path)
 
+    failures = [row[0] for row in rows if row[5] == "REGRESSED"]
     if failures:
         fatal("stage(s) regressed beyond {:.1f}x baseline: {}".format(
             factor, ", ".join(failures)))

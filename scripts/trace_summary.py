@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Summarize (and optionally check) an ANTSim simulated-time trace.
+
+Usage: trace_summary.py TRACE.json [--check] [--top N]
+
+TRACE.json is the Chrome trace-event document written by
+--trace-out / ANTSIM_TRACE (src/obs/trace.cc, docs/OBSERVABILITY.md).
+Timestamps are simulated cycles, not wall-clock: the summary is
+deterministic for a fixed configuration at every thread count.
+
+Default output is a per-PE-lane table -- active / startup / idle-scan
+cycles, utilization over the lane's makespan, span and task counts --
+followed by instant-event totals (accumulator bank conflicts,
+trace-cache hits/misses) and the --top longest chunk tasks.
+
+--check additionally validates structure and exits non-zero on any
+violation:
+  - the document parses and has a traceEvents array;
+  - every event carries name/ph/pid/ts, durations are non-negative
+    integers, and ph is one of M/X/i;
+  - span kinds are exactly startup/active/idle_scan;
+  - per-lane "pe" spans are non-overlapping when sorted by start
+    (the deterministic lane plan guarantees it);
+  - every PE lane referenced by an event has a thread_name metadata
+    record.
+
+Only the Python standard library is used (CI installs nothing).
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+SPAN_KINDS = ("startup", "active", "idle_scan")
+
+
+def fatal(message):
+    print("trace_summary: error: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_args(argv):
+    args = list(argv[1:])
+    check = "--check" in args
+    if check:
+        args.remove("--check")
+    top = 5
+    if "--top" in args:
+        index = args.index("--top")
+        if index + 1 >= len(args):
+            fatal("--top expects a value")
+        try:
+            top = int(args[index + 1])
+        except ValueError:
+            fatal("--top expects an integer, got '{}'".format(
+                args[index + 1]))
+        del args[index:index + 2]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    return args[0], check, top
+
+
+def check_event(event, index, errors):
+    for key in ("name", "ph", "pid"):
+        if key not in event:
+            errors.append("event {}: missing '{}'".format(index, key))
+            return False
+    ph = event["ph"]
+    if ph not in ("M", "X", "i"):
+        errors.append("event {}: unknown ph '{}'".format(index, ph))
+        return False
+    if ph in ("X", "i"):
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errors.append("event {}: bad ts {!r}".format(index, ts))
+            return False
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, int) or dur < 0:
+            errors.append("event {}: bad dur {!r}".format(index, dur))
+            return False
+    return True
+
+
+def main(argv):
+    path, check, top = parse_args(argv)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fatal("cannot read {}: {}".format(path, err))
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fatal("{} has no traceEvents array".format(path))
+
+    errors = []
+    lane_names = {}          # tid -> "PE N" metadata
+    lanes = defaultdict(lambda: defaultdict(int))  # tid -> kind -> cycles
+    lane_spans = defaultdict(list)   # tid -> [(ts, dur)] for overlap check
+    lane_bounds = {}         # tid -> (min_ts, max_end)
+    lane_tasks = defaultdict(int)
+    instants = defaultdict(int)
+    tasks = []               # (dur, ts, tid)
+    units = 0
+
+    for index, event in enumerate(events):
+        if not check_event(event, index, errors):
+            continue
+        ph, cat = event["ph"], event.get("cat", "")
+        tid = event.get("tid", 0)
+        if ph == "M":
+            if event["name"] == "thread_name":
+                lane_names[tid] = event.get("args", {}).get("name", "")
+            continue
+        ts = event["ts"]
+        if ph == "i":
+            instants[event["name"]] += 1
+            continue
+        dur = event["dur"]
+        end = ts + dur
+        lo, hi = lane_bounds.get(tid, (ts, end))
+        lane_bounds[tid] = (min(lo, ts), max(hi, end))
+        if cat == "pe":
+            if event["name"] not in SPAN_KINDS:
+                errors.append("event {}: unknown span kind '{}'".format(
+                    index, event["name"]))
+                continue
+            lanes[tid][event["name"]] += dur
+            lane_spans[tid].append((ts, dur))
+        elif cat == "task":
+            lane_tasks[tid] += 1
+            tasks.append((dur, ts, tid))
+        elif cat == "unit":
+            units += 1
+
+    if check:
+        for tid, spans in sorted(lane_spans.items()):
+            spans.sort()
+            cursor = -1
+            for ts, dur in spans:
+                if ts < cursor:
+                    errors.append(
+                        "lane {}: overlapping pe spans at ts {}".format(
+                            tid, ts))
+                    break
+                cursor = ts + dur
+        for tid in sorted(set(lanes) | set(lane_tasks)):
+            if tid not in lane_names:
+                errors.append(
+                    "lane {} has events but no thread_name "
+                    "metadata".format(tid))
+
+    if errors:
+        print("trace_summary: {} FAILS ({} violations):".format(
+            path, len(errors)))
+        for error in errors[:20]:
+            print("  " + error)
+        if len(errors) > 20:
+            print("  ... and {} more".format(len(errors) - 20))
+        return 1
+
+    print("trace_summary: {} -- {} events, {} units, {} chunk tasks, "
+          "{} PE lanes".format(path, len(events), units, len(tasks),
+                               len(lanes)))
+    header = ("lane", "active", "startup", "idle_scan", "busy%",
+              "tasks")
+    print("{:<10} {:>12} {:>12} {:>12} {:>7} {:>8}".format(*header))
+    for tid in sorted(lanes):
+        kinds = lanes[tid]
+        lo, hi = lane_bounds[tid]
+        span = hi - lo
+        busy = kinds["active"] + kinds["startup"]
+        pct = (100.0 * busy / span) if span else 0.0
+        print("{:<10} {:>12} {:>12} {:>12} {:>6.1f}% {:>8}".format(
+            lane_names.get(tid, "tid {}".format(tid)), kinds["active"],
+            kinds["startup"], kinds["idle_scan"], pct, lane_tasks[tid]))
+
+    if instants:
+        print("\ninstants:")
+        for name in sorted(instants):
+            print("  {:<24} {}".format(name, instants[name]))
+        hits = instants.get("trace_cache_hit", 0)
+        misses = instants.get("trace_cache_miss", 0)
+        if hits + misses:
+            print("  trace-cache hit rate     {:.1f}%".format(
+                100.0 * hits / (hits + misses)))
+
+    if top > 0 and tasks:
+        tasks.sort(reverse=True)
+        print("\ntop {} chunk tasks by cycles:".format(
+            min(top, len(tasks))))
+        for dur, ts, tid in tasks[:top]:
+            print("  {:>10} cycles  at ts {:>10}  on {}".format(
+                dur, ts, lane_names.get(tid, "tid {}".format(tid))))
+
+    if check:
+        print("\ntrace_summary: {} passes all checks".format(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

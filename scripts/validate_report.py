@@ -3,10 +3,24 @@
 
 Usage: validate_report.py SCHEMA.json DOCUMENT.json
 
+DOCUMENT.json may be either the merged BENCH_antsim.json from
+scripts/bench_all.sh (validated against the schema root) or a single
+bench --json report (validated against the schema's $defs/report);
+the two are told apart by the merged-only "runs" key.
+
 Implements the small, self-contained subset of JSON Schema the report
 schema actually uses -- type, properties, required, items,
 additionalProperties, enum, minimum, and local $ref -- because the CI
 containers have no jsonschema package and must not install one.
+
+On top of the structural check, one semantic law is enforced on every
+"stall_attribution" entry found anywhere in the document: each row
+(per layer and the total) must satisfy
+    active + startup + idle_scan + imbalance == cycles
+exactly. The C++ side builds the decomposition saturating so the sum
+holds by construction (src/report/report.cc stallBreakdown); a report
+violating it was produced by a buggy or incompatible writer.
+
 Exits 0 when the document conforms, 1 with every violation listed
 otherwise.
 """
@@ -85,6 +99,48 @@ class Validator:
                     self.check(items, item, "{}[{}]".format(path, index))
 
 
+STALL_COMPONENTS = ("active", "startup", "idle_scan", "imbalance")
+
+
+def check_stall_row(row, path, errors):
+    if not isinstance(row, dict):
+        return
+    try:
+        total = sum(row[c] for c in STALL_COMPONENTS)
+        cycles = row["cycles"]
+    except (KeyError, TypeError):
+        return  # structural validation already reported the shape
+    if total != cycles:
+        errors.append(
+            "{}: stall components sum to {} but cycles is {} "
+            "(layer '{}')".format(path, total, cycles,
+                                  row.get("layer", "?")))
+
+
+def check_stall_sums(node, path, errors):
+    """Recursively enforce the stall-sum law on every
+    stall_attribution section in the document (top-level reports and
+    reports nested under runs.*)."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = "{}.{}".format(path, key) if path else key
+            if key == "stall_attribution" and isinstance(value, list):
+                for index, entry in enumerate(value):
+                    if not isinstance(entry, dict):
+                        continue
+                    base = "{}[{}]".format(child, index)
+                    for li, row in enumerate(entry.get("layers", [])):
+                        check_stall_row(
+                            row, "{}.layers[{}]".format(base, li), errors)
+                    check_stall_row(
+                        entry.get("total"), base + ".total", errors)
+            else:
+                check_stall_sums(value, child, errors)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            check_stall_sums(item, "{}[{}]".format(path, index), errors)
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -100,7 +156,15 @@ def main(argv):
         return 1
 
     validator = Validator(schema)
-    validator.check(schema, document, "")
+    # The schema's root describes the merged BENCH_antsim.json; a
+    # single bench --json report matches its $defs/report instead.
+    # Distinguish by the merged-only "runs" key.
+    if isinstance(document, dict) and "runs" not in document \
+            and "$defs" in schema and "report" in schema["$defs"]:
+        validator.check(schema["$defs"]["report"], document, "")
+    else:
+        validator.check(schema, document, "")
+    check_stall_sums(document, "", validator.errors)
     if validator.errors:
         print("validate_report: {} FAILS {} ({} violations):".format(
             doc_path, schema_path, len(validator.errors)))

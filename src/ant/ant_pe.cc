@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "conv/census.hh"
+#include "obs/trace.hh"
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
 #include "verify/audit_hooks.hh"
@@ -150,8 +151,12 @@ AntPe::runConvStack(const ProblemSpec &spec,
     const std::uint64_t all_products =
         stackNnz(kernels) * static_cast<std::uint64_t>(image.nnz());
 
+    obs::UnitRecorder *rec = obs::recorder();
+
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
+    if (rec)
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
 
     std::uint64_t executed = 0;
     std::uint64_t valid = 0;
@@ -207,6 +212,8 @@ AntPe::runConvStack(const ProblemSpec &spec,
             // still occupies the pipeline for one cycle.
             ++cycles;
             c.add(Counter::IdleScanCycles);
+            if (rec)
+                rec->advance(obs::SpanKind::IdleScan, 1);
             continue;
         }
 
@@ -246,6 +253,10 @@ AntPe::runConvStack(const ProblemSpec &spec,
             cycles += std::max<std::uint64_t>(controller_cycles, 1);
             c.add(Counter::IdleScanCycles,
                   std::max<std::uint64_t>(controller_cycles, 1));
+            if (rec) {
+                rec->advance(obs::SpanKind::IdleScan,
+                             std::max<std::uint64_t>(controller_cycles, 1));
+            }
             continue;
         }
 
@@ -270,6 +281,12 @@ AntPe::runConvStack(const ProblemSpec &spec,
 
             ++scan_cycles;
             const std::uint32_t selected = fnir.selectedCount();
+            if (rec) {
+                rec->hist(obs::HistId::FnirValidPartners, selected);
+                rec->advance(selected == 0 ? obs::SpanKind::IdleScan
+                                           : obs::SpanKind::Active,
+                             1);
+            }
             if (selected == 0) {
                 c.add(Counter::IdleScanCycles);
             } else {
@@ -280,6 +297,8 @@ AntPe::runConvStack(const ProblemSpec &spec,
                 value_elements_read += selected;
                 executed += static_cast<std::uint64_t>(selected) * igroup;
 
+                if (accumulator)
+                    accumulator->newIssueGroup();
                 for (std::uint32_t port = 0; port < selected; ++port) {
                     const auto &cand =
                         candidates[pos + fnir.ports[port].position];
@@ -319,8 +338,13 @@ AntPe::runConvStack(const ProblemSpec &spec,
         const std::uint64_t group_cycles =
             std::max(scan_cycles, controller_cycles);
         cycles += group_cycles;
-        if (group_cycles > scan_cycles)
+        if (group_cycles > scan_cycles) {
             c.add(Counter::IdleScanCycles, group_cycles - scan_cycles);
+            if (rec) {
+                rec->advance(obs::SpanKind::IdleScan,
+                             group_cycles - scan_cycles);
+            }
+        }
     }
 
     c.add(Counter::MultsExecuted, executed);
@@ -396,8 +420,12 @@ AntPe::runConvStackKernelStationary(
     const std::uint64_t all_products =
         static_cast<std::uint64_t>(kernel_stream.size()) * image.nnz();
 
+    obs::UnitRecorder *rec = obs::recorder();
+
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
+    if (rec)
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
 
     std::uint64_t executed = 0;
     std::uint64_t valid = 0;
@@ -447,6 +475,8 @@ AntPe::runConvStackKernelStationary(
         if (x_range.empty() || y_window.empty()) {
             ++cycles;
             c.add(Counter::IdleScanCycles);
+            if (rec)
+                rec->advance(obs::SpanKind::IdleScan, 1);
             continue;
         }
 
@@ -473,6 +503,10 @@ AntPe::runConvStackKernelStationary(
             cycles += std::max<std::uint64_t>(controller_cycles, 1);
             c.add(Counter::IdleScanCycles,
                   std::max<std::uint64_t>(controller_cycles, 1));
+            if (rec) {
+                rec->advance(obs::SpanKind::IdleScan,
+                             std::max<std::uint64_t>(controller_cycles, 1));
+            }
             continue;
         }
 
@@ -491,6 +525,12 @@ AntPe::runConvStackKernelStationary(
 
             ++scan_cycles;
             const std::uint32_t selected = fnir.selectedCount();
+            if (rec) {
+                rec->hist(obs::HistId::FnirValidPartners, selected);
+                rec->advance(selected == 0 ? obs::SpanKind::IdleScan
+                                           : obs::SpanKind::Active,
+                             1);
+            }
             if (selected == 0) {
                 c.add(Counter::IdleScanCycles);
             } else {
@@ -499,6 +539,8 @@ AntPe::runConvStackKernelStationary(
                 elements_read += selected;
                 executed += static_cast<std::uint64_t>(selected) * kgroup;
 
+                if (accumulator)
+                    accumulator->newIssueGroup();
                 for (std::uint32_t port = 0; port < selected; ++port) {
                     // Candidate coordinates: s holds the image x, r the
                     // image y (appendWindowedCandidates reads a generic
@@ -529,8 +571,13 @@ AntPe::runConvStackKernelStationary(
         const std::uint64_t group_cycles =
             std::max(scan_cycles, controller_cycles);
         cycles += group_cycles;
-        if (group_cycles > scan_cycles)
+        if (group_cycles > scan_cycles) {
             c.add(Counter::IdleScanCycles, group_cycles - scan_cycles);
+            if (rec) {
+                rec->advance(obs::SpanKind::IdleScan,
+                             group_cycles - scan_cycles);
+            }
+        }
     }
 
     c.add(Counter::MultsExecuted, executed);
@@ -589,8 +636,12 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
         static_cast<std::uint64_t>(kernel.nnz()) *
         static_cast<std::uint64_t>(image.nnz());
 
+    obs::UnitRecorder *rec = obs::recorder();
+
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
+    if (rec)
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
     std::uint64_t executed = 0;
     std::uint64_t elements_read = 0;
     std::uint64_t groups = 0;
@@ -633,6 +684,8 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
         if (candidates.empty()) {
             ++cycles;
             c.add(Counter::IdleScanCycles);
+            if (rec)
+                rec->advance(obs::SpanKind::IdleScan, 1);
             continue;
         }
 
@@ -646,10 +699,13 @@ AntPe::runMatmulPair(const ProblemSpec &spec, const CsrMatrix &kernel,
 
             ++cycles;
             c.add(Counter::ActiveCycles);
+            if (rec)
+                rec->advance(obs::SpanKind::Active, 1);
             c.add(Counter::MultsExecuted,
                   static_cast<std::uint64_t>(kgroup) * igroup);
             executed += static_cast<std::uint64_t>(kgroup) * igroup;
 
+            accumulator.newIssueGroup();
             for (std::size_t kk = kb; kk < ke; ++kk) {
                 const auto &cand = candidates[kk];
                 for (std::size_t i = ib; i < ie; ++i) {

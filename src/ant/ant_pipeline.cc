@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "ant/fnir.hh"
+#include "obs/trace.hh"
 #include "report/profiler.hh"
 #include "sim/clock.hh"
 #include "util/logging.hh"
@@ -283,10 +284,20 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
 
     // Start-up: the paper's 5-cycle fill for a new matrix pair.
     std::uint64_t cycles = config_.startupCycles;
+    obs::UnitRecorder *rec = obs::recorder();
+    if (rec)
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
 
     // Advance until the scanner is done and the pipe has drained.
     const std::uint64_t safety_limit = 1ull << 40;
     while (!scanner.done() || p1.valid() || p2.valid() || p3.valid()) {
+        // A tick retires work (multipliers busy) iff the last pipe
+        // register holds a bundle when the tick starts.
+        if (rec) {
+            rec->advance(p3.valid() ? obs::SpanKind::Active
+                                    : obs::SpanKind::IdleScan,
+                         1);
+        }
         sim.tick();
         ++cycles;
         ANT_ASSERT(cycles < safety_limit, "pipeline failed to drain");

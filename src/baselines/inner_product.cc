@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "conv/dense_conv.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "verify/audit_hooks.hh"
 
@@ -128,6 +129,10 @@ DenseInnerProductPe::runStack(const ProblemSpec &spec,
     c.add(Counter::StartupCycles, config_.startupCycles);
     c.add(Counter::ActiveCycles, cycles - config_.startupCycles);
     c.set(Counter::Cycles, cycles);
+    if (auto *rec = obs::recorder()) {
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
+        rec->advance(obs::SpanKind::Active, cycles - config_.startupCycles);
+    }
 
     if (collect_output) {
         result.output =
@@ -189,6 +194,10 @@ TensorDashPe::runStack(const ProblemSpec &spec,
     c.add(Counter::StartupCycles, config_.startupCycles);
     c.add(Counter::ActiveCycles, cycles - config_.startupCycles);
     c.set(Counter::Cycles, cycles);
+    if (auto *rec = obs::recorder()) {
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
+        rec->advance(obs::SpanKind::Active, cycles - config_.startupCycles);
+    }
 
     // Traffic: the sparse (image) side streams compressed value+index
     // pairs; the dense (kernel) side streams every scheduled slot.

@@ -1,0 +1,122 @@
+#include "histogram.hh"
+
+#include "util/logging.hh"
+
+namespace antsim {
+namespace obs {
+
+namespace {
+
+/** floor(log2(v)) for v > 0. */
+std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    std::uint32_t log = 0;
+    while (v >>= 1)
+        ++log;
+    return log;
+}
+
+constexpr HistogramSpec kSpecs[kNumHists] = {
+    // TaskCycles: log2 buckets up to 2^38 cycles, far above any single
+    // chunk-pair task the 8 KB buffers admit.
+    {HistogramSpec::Kind::Log2, 0, 1, 40},
+    // ImageRowNnz: log2 buckets; a row holds at most the image width.
+    {HistogramSpec::Kind::Log2, 0, 1, 16},
+    // RcpPermille: 50-permille buckets over [0, 1000].
+    {HistogramSpec::Kind::Linear, 0, 50, 21},
+    // FnirValidPartners: one bucket per count, 0..15 then overflow.
+    {HistogramSpec::Kind::Linear, 0, 1, 17},
+};
+
+constexpr const char *kNames[kNumHists] = {
+    "task_cycles",
+    "image_row_nnz",
+    "rcp_permille",
+    "fnir_valid_partners",
+};
+
+} // namespace
+
+const char *
+histName(HistId id)
+{
+    const auto index = static_cast<std::size_t>(id);
+    ANT_ASSERT(index < kNumHists, "histogram id out of range");
+    return kNames[index];
+}
+
+const HistogramSpec &
+histSpec(HistId id)
+{
+    const auto index = static_cast<std::size_t>(id);
+    ANT_ASSERT(index < kNumHists, "histogram id out of range");
+    return kSpecs[index];
+}
+
+std::uint32_t
+Histogram::bucketFor(std::uint64_t value) const
+{
+    std::uint32_t bucket = 0;
+    if (spec_.kind == HistogramSpec::Kind::Log2) {
+        // Bucket 0 holds {0}; bucket i >= 1 holds [2^(i-1), 2^i).
+        bucket = value == 0 ? 0 : floorLog2(value) + 1;
+    } else {
+        bucket = value <= spec_.lo
+            ? 0
+            : static_cast<std::uint32_t>(
+                  (value - spec_.lo) / spec_.binWidth);
+    }
+    return bucket < spec_.bins ? bucket : spec_.bins - 1;
+}
+
+Histogram &
+Histogram::operator+=(const Histogram &other)
+{
+    ANT_ASSERT(bins_.size() == other.bins_.size(),
+               "merging histograms with different layouts");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        min_ = other.min_ < min_ ? other.min_ : min_;
+        max_ = other.max_ > max_ ? other.max_ : max_;
+    }
+    return *this;
+}
+
+bool
+Histogram::operator==(const Histogram &other) const
+{
+    return bins_ == other.bins_ && count_ == other.count_ &&
+        sum_ == other.sum_ && min() == other.min() && max() == other.max();
+}
+
+HistogramRegistry::HistogramRegistry()
+{
+    hists_.reserve(kNumHists);
+    for (std::size_t i = 0; i < kNumHists; ++i)
+        hists_.emplace_back(kSpecs[i]);
+}
+
+HistogramRegistry &
+HistogramRegistry::operator+=(const HistogramRegistry &other)
+{
+    for (std::size_t i = 0; i < kNumHists; ++i)
+        hists_[i] += other.hists_[i];
+    return *this;
+}
+
+bool
+HistogramRegistry::operator==(const HistogramRegistry &other) const
+{
+    for (std::size_t i = 0; i < kNumHists; ++i) {
+        if (!(hists_[i] == other.hists_[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace antsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fixed-bin histogram registry for deterministic run metrics.
+ *
+ * The observability layer (src/obs/trace.hh) wants distributions, not
+ * just totals: how long tasks take, how skewed the per-row non-zero
+ * counts are, how many valid partners the FNIR selects per window.
+ * Each histogram has a compile-time bin layout (log2 or fixed-width
+ * linear buckets over uint64 samples), so recording is one array
+ * increment and merging two histograms is element-wise addition --
+ * associative and commutative, which makes the merged result
+ * independent of worker scheduling (the same argument the parallel
+ * counter reduction rests on, DESIGN.md "Parallel execution model").
+ *
+ * All state is exact integers; no floating point enters until a
+ * consumer derives rates, so serialized histograms are byte-stable
+ * across thread counts.
+ */
+
+#ifndef ANTSIM_OBS_HISTOGRAM_HH
+#define ANTSIM_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace antsim {
+namespace obs {
+
+/** Identity of each tracked distribution. */
+enum class HistId : unsigned {
+    /** Modeled cycles of one (kernel, image) chunk-pair task. */
+    TaskCycles = 0,
+    /** Non-zeros per image row of each simulated task's image plane. */
+    ImageRowNnz,
+    /** Residual-RCP fraction of executed multiplies, in permille. */
+    RcpPermille,
+    /** Valid partners the FNIR selects per scan window (0..n). */
+    FnirValidPartners,
+    NumHists
+};
+
+/** Number of distinct histograms. */
+constexpr std::size_t kNumHists = static_cast<std::size_t>(HistId::NumHists);
+
+/** Stable snake_case name of a histogram (report key). */
+const char *histName(HistId id);
+
+/** Bin layout of one histogram. */
+struct HistogramSpec
+{
+    enum class Kind { Log2, Linear };
+    Kind kind = Kind::Log2;
+    /** Linear only: lowest representable sample. */
+    std::uint64_t lo = 0;
+    /** Linear only: width of each bucket. */
+    std::uint64_t binWidth = 1;
+    /** Bucket count; the last bucket absorbs the overflow tail. */
+    std::uint32_t bins = 1;
+};
+
+/** Bin layout of histogram @p id. */
+const HistogramSpec &histSpec(HistId id);
+
+/** One fixed-layout histogram with exact summary statistics. */
+class Histogram
+{
+  public:
+    explicit Histogram(const HistogramSpec &spec)
+        : spec_(spec), bins_(spec.bins, 0)
+    {}
+
+    /** Bucket index a sample lands in. */
+    std::uint32_t bucketFor(std::uint64_t value) const;
+
+    /** Record one sample. */
+    void
+    add(std::uint64_t value)
+    {
+        ++bins_[bucketFor(value)];
+        ++count_;
+        sum_ += value;
+        min_ = value < min_ ? value : min_;
+        max_ = value > max_ ? value : max_;
+    }
+
+    /**
+     * Element-wise merge; associative and commutative, so any merge
+     * tree over the same samples yields the same histogram.
+     */
+    Histogram &operator+=(const Histogram &other);
+
+    const HistogramSpec &spec() const { return spec_; }
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest recorded sample (0 when empty). */
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    /** Largest recorded sample (0 when empty). */
+    std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+
+    bool operator==(const Histogram &other) const;
+
+  private:
+    HistogramSpec spec_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/** The fixed set of histograms one recording scope accumulates. */
+class HistogramRegistry
+{
+  public:
+    HistogramRegistry();
+
+    /** Record @p value into histogram @p id. */
+    void
+    add(HistId id, std::uint64_t value)
+    {
+        hists_[static_cast<std::size_t>(id)].add(value);
+    }
+
+    const Histogram &
+    get(HistId id) const
+    {
+        return hists_[static_cast<std::size_t>(id)];
+    }
+
+    /** Merge another registry in (element-wise per histogram). */
+    HistogramRegistry &operator+=(const HistogramRegistry &other);
+
+    bool operator==(const HistogramRegistry &other) const;
+
+  private:
+    std::vector<Histogram> hists_;
+};
+
+} // namespace obs
+} // namespace antsim
+
+#endif // ANTSIM_OBS_HISTOGRAM_HH

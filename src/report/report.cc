@@ -1,5 +1,6 @@
 #include "report.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "conv/census.hh"
@@ -127,6 +128,90 @@ networkStatsFromJson(const Json &json)
     return stats;
 }
 
+StallBreakdown
+stallBreakdown(const CounterSet &counters)
+{
+    StallBreakdown b;
+    b.cycles = counters.get(Counter::Cycles);
+    std::uint64_t left = b.cycles;
+    b.active = std::min(counters.get(Counter::ActiveCycles), left);
+    left -= b.active;
+    b.startup = std::min(counters.get(Counter::StartupCycles), left);
+    left -= b.startup;
+    b.idleScan = std::min(counters.get(Counter::IdleScanCycles), left);
+    left -= b.idleScan;
+    b.imbalance = left;
+    return b;
+}
+
+Json
+histogramsToJson(const obs::HistogramRegistry &hists)
+{
+    Json json = Json::array();
+    for (std::size_t i = 0; i < obs::kNumHists; ++i) {
+        const auto id = static_cast<obs::HistId>(i);
+        const obs::Histogram &hist = hists.get(id);
+        Json entry = Json::object();
+        entry.set("name", obs::histName(id));
+        entry.set("kind",
+                  hist.spec().kind == obs::HistogramSpec::Kind::Log2
+                      ? "log2"
+                      : "linear");
+        entry.set("lo", hist.spec().lo);
+        entry.set("bin_width", hist.spec().binWidth);
+        Json bins = Json::array();
+        for (std::uint64_t b : hist.bins())
+            bins.push(b);
+        entry.set("bins", std::move(bins));
+        entry.set("count", hist.count());
+        entry.set("sum", hist.sum());
+        entry.set("min", hist.min());
+        entry.set("max", hist.max());
+        json.push(std::move(entry));
+    }
+    return json;
+}
+
+namespace {
+
+/** Sum the simulated phases of one layer into a single counter set. */
+CounterSet
+layerTotals(const LayerStats &layer)
+{
+    CounterSet total;
+    for (const PhaseStats &phase : layer.phases) {
+        if (phase.pairsTotal > 0)
+            total += phase.counters;
+    }
+    return total;
+}
+
+/** One stall-attribution row as JSON. */
+Json
+stallRowToJson(const std::string &name, const CounterSet &counters,
+               std::uint32_t multipliers)
+{
+    const StallBreakdown b = stallBreakdown(counters);
+    Json row = Json::object();
+    row.set("layer", name);
+    row.set("cycles", b.cycles);
+    row.set("active", b.active);
+    row.set("startup", b.startup);
+    row.set("idle_scan", b.idleScan);
+    row.set("imbalance", b.imbalance);
+    const std::uint64_t slots =
+        static_cast<std::uint64_t>(multipliers) * b.cycles;
+    row.set("utilization_pct",
+            slots == 0 ? 0.0
+                       : 100.0 *
+                    static_cast<double>(
+                        counters.get(Counter::MultsExecuted)) /
+                    static_cast<double>(slots));
+    return row;
+}
+
+} // namespace
+
 Json
 profileToJson()
 {
@@ -190,6 +275,32 @@ RunReport::addTable(const std::string &name, const Table &table)
     tables_.push_back({name, table});
 }
 
+void
+RunReport::addStallAttribution(const std::string &network_name,
+                               const NetworkStats &stats,
+                               const std::string &pe_model,
+                               std::uint32_t multipliers)
+{
+    Json entry = Json::object();
+    entry.set("network", network_name);
+    entry.set("pe_model", pe_model);
+    entry.set("multipliers", static_cast<std::uint64_t>(multipliers));
+    Json layers = Json::array();
+    for (const LayerStats &layer : stats.layers)
+        layers.push(stallRowToJson(layer.name, layerTotals(layer),
+                                   multipliers));
+    entry.set("layers", std::move(layers));
+    entry.set("total", stallRowToJson("total", stats.total, multipliers));
+    stalls_.push_back({network_name, std::move(entry)});
+}
+
+void
+RunReport::setHistograms(const obs::HistogramRegistry &hists)
+{
+    histograms_ = histogramsToJson(hists);
+    hasHistograms_ = true;
+}
+
 Json
 RunReport::toJson(bool include_profile) const
 {
@@ -219,6 +330,11 @@ RunReport::toJson(bool include_profile) const
     }
     json.set("networks", std::move(networks));
 
+    Json stalls = Json::array();
+    for (const StallEntry &stall : stalls_)
+        stalls.push(stall.json);
+    json.set("stall_attribution", std::move(stalls));
+
     Json tables = Json::array();
     for (const NamedTable &table : tables_) {
         Json entry = Json::object();
@@ -239,6 +355,9 @@ RunReport::toJson(bool include_profile) const
     }
     json.set("tables", std::move(tables));
 
+    if (hasHistograms_)
+        json.set("histograms", histograms_);
+
     if (include_profile)
         json.set("profile", profileToJson());
     return json;
@@ -253,6 +372,31 @@ RunReport::toCsv() const
         out += table.name;
         out += '\n';
         out += table.table.toCsv();
+        out += '\n';
+    }
+    for (const StallEntry &stall : stalls_) {
+        Table table({"layer", "pe_model", "cycles", "active", "startup",
+                     "idle_scan", "imbalance", "utilization_pct"});
+        const std::string &pe_model =
+            stall.json.at("pe_model").asString();
+        const auto add_row = [&](const Json &row) {
+            table.addRow(
+                {row.at("layer").asString(), pe_model,
+                 std::to_string(row.at("cycles").asUint()),
+                 std::to_string(row.at("active").asUint()),
+                 std::to_string(row.at("startup").asUint()),
+                 std::to_string(row.at("idle_scan").asUint()),
+                 std::to_string(row.at("imbalance").asUint()),
+                 Table::num(row.at("utilization_pct").asDouble())});
+        };
+        const Json &layers = stall.json.at("layers");
+        for (std::size_t i = 0; i < layers.size(); ++i)
+            add_row(layers.at(i));
+        add_row(stall.json.at("total"));
+        out += "# stall_attribution/";
+        out += stall.name;
+        out += '\n';
+        out += table.toCsv();
         out += '\n';
     }
     return out;

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "report/json.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
@@ -73,6 +74,43 @@ NetworkStats networkStatsFromJson(const Json &json);
 /** Snapshot of the stage profiler as the report's profile section. */
 Json profileToJson();
 
+/**
+ * Decomposition of Counter::Cycles into stall components. Built by
+ * stallBreakdown as a *saturating* decomposition, so the components
+ * sum to `cycles` exactly by construction (enforced per layer by
+ * validate_report.py and stall_attribution_test).
+ */
+struct StallBreakdown
+{
+    std::uint64_t cycles = 0;
+    /** Cycles the multiplier array issued at least one product. */
+    std::uint64_t active = 0;
+    /** Pipeline start-up cycles on new matrix pairs. */
+    std::uint64_t startup = 0;
+    /** Scan/controller cycles with the multipliers idle. */
+    std::uint64_t idleScan = 0;
+    /** Residual cycles none of the above explains; see stallBreakdown. */
+    std::uint64_t imbalance = 0;
+};
+
+/**
+ * Decompose @p counters.get(Cycles) into StallBreakdown components.
+ *
+ * Every PE model maintains Cycles == Startup + Active + IdleScan
+ * exactly (the invariant auditor's cycle partition law), but rational
+ * sample scaling (CounterSet::scale) rounds each counter
+ * independently, leaving a residual of a few counts per scaled set.
+ * The decomposition therefore saturates: active, then startup, then
+ * idle-scan are capped to the cycles not yet attributed, and whatever
+ * remains lands in `imbalance` -- the catch-all for cycles the PE-sum
+ * view cannot attribute (scaling residue here; the real per-PE load
+ * skew is visible in the trace lanes, see docs/OBSERVABILITY.md).
+ */
+StallBreakdown stallBreakdown(const CounterSet &counters);
+
+/** Serialize a histogram registry (bins, count, sum, min, max). */
+Json histogramsToJson(const obs::HistogramRegistry &hists);
+
 /** One run's structured report. */
 class RunReport
 {
@@ -87,6 +125,25 @@ class RunReport
     /** Record a full network run under @p name. */
     void addNetwork(const std::string &name, const NetworkStats &stats,
                     std::uint32_t num_pes);
+
+    /**
+     * Record the per-layer stall-attribution table of one network run
+     * on one PE model: active / startup / idle-scan / imbalance
+     * decomposition of every layer's cycles plus multiplier
+     * utilization. Appears in the JSON `stall_attribution` section and
+     * the CSV stream.
+     */
+    void addStallAttribution(const std::string &network_name,
+                             const NetworkStats &stats,
+                             const std::string &pe_model,
+                             std::uint32_t multipliers);
+
+    /**
+     * Attach the merged simulated-time histograms (tracing runs only;
+     * the section is omitted when never set, keeping reports identical
+     * whether tracing is off or simply unused).
+     */
+    void setHistograms(const obs::HistogramRegistry &hists);
 
     /** Record a printed table under @p name. */
     void addTable(const std::string &name, const Table &table);
@@ -122,6 +179,14 @@ class RunReport
         Table table;
     };
     std::vector<NamedTable> tables_;
+    struct StallEntry
+    {
+        std::string name;
+        Json json;
+    };
+    std::vector<StallEntry> stalls_;
+    Json histograms_ = Json::object();
+    bool hasHistograms_ = false;
 };
 
 } // namespace antsim

@@ -4,6 +4,7 @@
 
 #include "conv/census.hh"
 #include "conv/outer_product.hh"
+#include "obs/trace.hh"
 #include "sim/accumulator.hh"
 #include "util/logging.hh"
 #include "verify/audit_hooks.hh"
@@ -149,6 +150,8 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
 
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
+    if (auto *rec = obs::recorder())
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
 
     for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
         const std::size_t ie = std::min(ib + n, image_entries.size());
@@ -176,6 +179,7 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
             c.add(Counter::MultsExecuted,
                   static_cast<std::uint64_t>(igroup) * kgroup);
 
+            accumulator.newIssueGroup();
             for (std::size_t i = ib; i < ie; ++i) {
                 const auto &img = image_entries[i];
                 for (std::uint32_t k = 0; k < kgroup; ++k) {
@@ -186,6 +190,11 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
             }
         }
     }
+
+    // One bulk advance; span coalescing makes this identical to a
+    // per-cycle advance in the loop, matching the counting path.
+    if (auto *rec = obs::recorder())
+        rec->advance(obs::SpanKind::Active, cycles - config_.startupCycles);
 
     c.set(Counter::Cycles, cycles);
     result.output = accumulator.output();
@@ -248,6 +257,10 @@ ScnnPe::runStackCounting(const ProblemSpec &spec,
     c.add(Counter::StartupCycles, config_.startupCycles);
     c.add(Counter::ActiveCycles, mult_cycles);
     c.set(Counter::Cycles, config_.startupCycles + mult_cycles);
+    if (auto *rec = obs::recorder()) {
+        rec->advance(obs::SpanKind::Startup, config_.startupCycles);
+        rec->advance(obs::SpanKind::Active, mult_cycles);
+    }
     return result;
 }
 

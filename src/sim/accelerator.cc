@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace antsim {
@@ -31,9 +32,14 @@ Accelerator::runProblem(const ProblemSpec &spec, const CsrMatrix &kernel,
         result.output = Dense2d<double>(spec.outH(), spec.outW());
 
     std::vector<std::uint64_t> task_cycles;
+    obs::UnitRecorder *rec = obs::recorder();
     for (const auto &pair : allChunkPairs(kernel_chunks, image_chunks)) {
+        if (rec)
+            rec->beginTask();
         PeResult pe_result =
             pe_.runPair(spec, *pair.kernel, *pair.image, collect_output);
+        if (rec)
+            rec->endTask();
         task_cycles.push_back(pe_result.counters.get(Counter::Cycles));
         result.counters += pe_result.counters;
         result.counters.add(Counter::TasksProcessed);
@@ -53,9 +59,14 @@ Accelerator::runTasks(
     AcceleratorResult result;
     std::vector<std::uint64_t> task_cycles;
     task_cycles.reserve(tasks.size());
+    obs::UnitRecorder *rec = obs::recorder();
     for (const auto &[spec, pair] : tasks) {
+        if (rec)
+            rec->beginTask();
         PeResult pe_result = pe_.runPair(spec, *pair.kernel, *pair.image,
                                          /*collect_output=*/false);
+        if (rec)
+            rec->endTask();
         task_cycles.push_back(pe_result.counters.get(Counter::Cycles));
         result.counters += pe_result.counters;
         result.counters.add(Counter::TasksProcessed);

@@ -1,5 +1,7 @@
 #include "accumulator.hh"
 
+#include "obs/trace.hh"
+
 namespace antsim {
 
 Accumulator::Accumulator(const ProblemSpec &spec,
@@ -21,6 +23,14 @@ Accumulator::offer(float image_value, std::uint32_t x, std::uint32_t y,
     }
     counters.add(Counter::MultsValid);
     counters.add(Counter::AccumAdds);
+    if (auto *rec = obs::recorder()) {
+        const std::uint32_t bank =
+            (out->y * output_.width() + out->x) % kBanks;
+        const std::uint32_t bit = 1u << bank;
+        if (groupBanks_ & bit)
+            rec->instant(obs::InstantKind::AccumBankConflict, bank);
+        groupBanks_ |= bit;
+    }
     bank_.write(1, counters);
     output_.at(out->x, out->y) +=
         static_cast<double>(image_value) * static_cast<double>(kernel_value);

@@ -53,10 +53,23 @@ class Accumulator
     /** The accumulated output plane. */
     const Dense2d<double> &output() const { return output_; }
 
+    /**
+     * Mark the start of a new same-cycle issue group. Valid products
+     * offered within one group that map to an already-claimed bank are
+     * reported as accumulator-bank conflicts to the tracing layer
+     * (observational only -- the cost model assumes the crossbar
+     * absorbs multiplier throughput, Sec. 6.1, so no counter moves).
+     */
+    void newIssueGroup() { groupBanks_ = 0; }
+
+    /** Modeled accumulator banks (2n for the n=16 array, Sec. 6.1). */
+    static constexpr std::uint32_t kBanks = 32;
+
   private:
     ProblemSpec spec_;
     Dense2d<double> output_;
     SramBuffer bank_;
+    std::uint32_t groupBanks_ = 0;
 };
 
 } // namespace antsim

@@ -23,6 +23,46 @@ setLogLevel(LogLevel level)
     g_level.store(level, std::memory_order_relaxed);
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Silent;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    detail::fatalImpl(__FILE__, __LINE__,
+                      "unknown log level '" + name +
+                          "' (expected error, warn, info, or debug)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "warn";
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char *env = std::getenv("ANTSIM_LOG_LEVEL");
+    if (env != nullptr && env[0] != '\0')
+        setLogLevel(parseLogLevel(env));
+}
+
 namespace detail {
 
 void

@@ -27,6 +27,22 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a log-level name: "error" (only panic/fatal output), "warn",
+ * "info", or "debug". Fatal (user error) on anything else.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Stable name of a log level (inverse of parseLogLevel). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Apply the ANTSIM_LOG_LEVEL environment variable when set (same
+ * names as parseLogLevel). Called by bench_common before flag
+ * parsing, so --log-level still wins over the environment.
+ */
+void initLogLevelFromEnv();
+
 namespace detail {
 
 /** Concatenate a parameter pack into one string via operator<<. */

@@ -1,9 +1,11 @@
 #include "runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 
+#include "obs/trace.hh"
 #include "report/profiler.hh"
 #include "sim/chunking.hh"
 #include "util/logging.hh"
@@ -28,6 +30,29 @@ workerCount(std::uint32_t requested)
     return std::min(resolved, ThreadPool::resolveThreadCount(0));
 }
 
+/** Short phase names for trace labels and the progress heartbeat. */
+constexpr const char *kPhaseNames[3] = {"fwd", "bwd", "upd"};
+
+/** Record the per-row non-zero distribution of a task's image plane. */
+void
+recordImageRowHist(obs::UnitRecorder &rec, const CsrMatrix &image)
+{
+    const auto &row_ptr = image.rowPtr();
+    for (std::size_t y = 0; y + 1 < row_ptr.size(); ++y)
+        rec.hist(obs::HistId::ImageRowNnz, row_ptr[y + 1] - row_ptr[y]);
+}
+
+/** Record the residual-RCP permille of one finished chunk task. */
+void
+recordRcpHist(obs::UnitRecorder &rec, const CounterSet &c)
+{
+    const std::uint64_t executed = c.get(Counter::MultsExecuted);
+    if (executed > 0) {
+        rec.hist(obs::HistId::RcpPermille,
+                 c.get(Counter::MultsRcp) * 1000 / executed);
+    }
+}
+
 /** Run one generated plane pair through the PE, chunked to capacity. */
 CounterSet
 runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
@@ -46,10 +71,19 @@ runPlanePair(PeModel &pe, const PlanePair &pair, std::uint32_t capacity)
         image_chunks = chunkByCapacity(pair.image, capacity);
         tasks = allChunkPairs(kernel_chunks, image_chunks);
     }
+    obs::UnitRecorder *rec = obs::recorder();
+    if (rec)
+        recordImageRowHist(*rec, pair.image);
     const ScopedTimer timer(Stage::PeSim);
     for (const auto &task : tasks) {
+        if (rec)
+            rec->beginTask();
         const PeResult r = pe.runPair(pair.spec, *task.kernel, *task.image,
                                       /*collect_output=*/false);
+        if (rec) {
+            rec->endTask();
+            recordRcpHist(*rec, r.counters);
+        }
         total += r.counters;
         total.add(Counter::TasksProcessed);
     }
@@ -121,10 +155,19 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
         const ScopedTimer timer(Stage::PlanBuild);
         image_chunks = chunkByCapacity(*task.image, capacity);
     }
+    obs::UnitRecorder *rec = obs::recorder();
+    if (rec)
+        recordImageRowHist(*rec, *task.image);
     const ScopedTimer timer(Stage::PeSim);
     for (const CsrMatrix &image_chunk : image_chunks) {
+        if (rec)
+            rec->beginTask();
         const PeResult r = pe.runStack(task.spec, kernel_ptrs, image_chunk,
                                        /*collect_output=*/false);
+        if (rec) {
+            rec->endTask();
+            recordRcpHist(*rec, r.counters);
+        }
         counters += r.counters;
         counters.add(Counter::TasksProcessed);
     }
@@ -209,16 +252,44 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     // Simulate every unit on a worker-private PE replica. Each unit's
     // counters land in the slot keyed by its task index, so nothing
     // downstream depends on scheduling.
+    obs::TraceSink *const sink = obs::traceSink();
+    const std::string run_label =
+        config.runLabel.empty() ? "conv_network" : config.runLabel;
+    std::size_t trace_run = 0;
+    if (sink)
+        trace_run = sink->beginRun(run_label, units.size());
+
+    // Progress heartbeat: ~8 info-level lines per run, counted with a
+    // relaxed atomic so it never perturbs simulation results.
+    const std::uint64_t heartbeat_step =
+        std::max<std::uint64_t>(1, units.size() / 8);
+    std::atomic<std::uint64_t> units_done{0};
+
     std::vector<CounterSet> unit_counters(units.size());
     ThreadPool pool(workerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
-    pool.parallelFor(0, units.size(), /*grain=*/1,
-                     [&](std::uint64_t i, std::uint32_t worker) {
-                         unit_counters[i] = runConvUnit(
-                             worker_pes[worker],
-                             layers[units[i].layer], profile, config,
-                             units[i]);
-                     });
+    pool.parallelFor(
+        0, units.size(), /*grain=*/1,
+        [&](std::uint64_t i, std::uint32_t worker) {
+            const ConvUnit &unit = units[i];
+            const ConvLayer &layer = layers[unit.layer];
+            const obs::ScopedUnitTrace trace(
+                sink, trace_run, i,
+                sink ? layer.name + "/" + kPhaseNames[unit.phase] + "#" +
+                        std::to_string(unit.taskIndex)
+                     : std::string());
+            unit_counters[i] =
+                runConvUnit(worker_pes[worker], layer, profile, config,
+                            unit);
+            const std::uint64_t done =
+                units_done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (logLevel() >= LogLevel::Info &&
+                (done % heartbeat_step == 0 || done == units.size())) {
+                ANT_INFORM(run_label, ": ", done, "/", units.size(),
+                           " units simulated (last: ", layer.name, "/",
+                           kPhaseNames[unit.phase], ")");
+            }
+        });
 
     // Ordered reduction: fold the per-unit counters back into the
     // (layer, phase) skeleton in task-index order -- the exact order
@@ -257,12 +328,26 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
 {
     config.validate();
     NetworkStats stats;
+
+    obs::TraceSink *const sink = obs::traceSink();
+    const std::string run_label =
+        config.runLabel.empty() ? "matmul_network" : config.runLabel;
+    std::size_t trace_run = 0;
+    if (sink)
+        trace_run = sink->beginRun(run_label, layers.size());
+    const std::uint64_t heartbeat_step =
+        std::max<std::uint64_t>(1, layers.size() / 8);
+    std::atomic<std::uint64_t> layers_done{0};
+
     std::vector<CounterSet> layer_counters(layers.size());
     ThreadPool pool(workerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, layers.size(), /*grain=*/1,
         [&](std::uint64_t li, std::uint32_t worker) {
+            const obs::ScopedUnitTrace trace(
+                sink, trace_run, li,
+                sink ? layers[li].name : std::string());
             Rng rng(mixSeed(config.seed, li, 0, 0));
             const PlanePair pair = [&] {
                 const ScopedTimer timer(Stage::TraceGen);
@@ -270,6 +355,14 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
             }();
             layer_counters[li] = runPlanePair(worker_pes[worker], pair,
                                               config.chunkCapacity);
+            const std::uint64_t done =
+                layers_done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (logLevel() >= LogLevel::Info &&
+                (done % heartbeat_step == 0 || done == layers.size())) {
+                ANT_INFORM(run_label, ": ", done, "/", layers.size(),
+                           " layers simulated (last: ", layers[li].name,
+                           ")");
+            }
         });
 
     const ScopedTimer reduce_timer(Stage::Reduce);

@@ -61,6 +61,13 @@ struct RunConfig
     std::uint32_t numThreads = 1;
 
     /**
+     * Display label of this run in the simulated-time trace and the
+     * progress heartbeat (e.g. "resnet18/ant"). Empty picks a generic
+     * name; the label never influences simulation results.
+     */
+    std::string runLabel;
+
+    /**
      * Fatal (user-error) check of the configuration. The runners call
      * it on entry so a nonsensical value -- e.g. a negative --threads
      * wrapped to four billion by an unsigned conversion -- fails with

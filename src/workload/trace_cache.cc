@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/bfloat16.hh"
 #include "util/logging.hh"
 
@@ -261,7 +262,14 @@ cachedCsrPlane(const PlaneRecipe &recipe, Rng &rng)
     }
 
     const PlaneKey key{recipe, rng.state()};
-    Shard &shard = shardFor(PlaneKeyHash{}(key));
+    const std::size_t hash = PlaneKeyHash{}(key);
+    // The physical hit/miss outcome depends on worker interleaving, so
+    // the trace records only the deterministic key hash; the exporter
+    // classifies lookups logically (first occurrence in unit order =
+    // miss), which matches what a single-threaded run observes.
+    if (auto *rec = obs::recorder())
+        rec->instant(obs::InstantKind::TraceCacheLookup, hash);
+    Shard &shard = shardFor(hash);
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         const auto it = shard.planes.find(key);

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Fixed-bin simulated-time histograms (src/obs/histogram.hh): bucket
+ * placement for both bin kinds, the summary moments, and the merge
+ * algebra the parallel engine relies on -- `operator+=` must be
+ * associative and insertion-order-independent so the merged registry
+ * is identical no matter how the per-worker partials are combined.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace antsim {
+namespace obs {
+namespace {
+
+TEST(Histogram, Log2BucketPlacement)
+{
+    Histogram h{histSpec(HistId::TaskCycles)};
+    // Bucket 0 holds exactly the value 0; bucket i holds
+    // [2^(i-1), 2^i).
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    EXPECT_EQ(h.bins()[0], 1u); // {0}
+    EXPECT_EQ(h.bins()[1], 1u); // {1}
+    EXPECT_EQ(h.bins()[2], 2u); // {2, 3}
+    EXPECT_EQ(h.bins()[3], 1u); // {4..7}
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 10u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 4u);
+}
+
+TEST(Histogram, Log2OverflowClampsToLastBin)
+{
+    const HistogramSpec spec = histSpec(HistId::ImageRowNnz);
+    Histogram h{spec};
+    h.add(~std::uint64_t{0});
+    EXPECT_EQ(h.bins().back(), 1u);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, LinearBucketPlacement)
+{
+    // rcp_permille: 21 linear bins of width 50 from 0.
+    Histogram h{histSpec(HistId::RcpPermille)};
+    h.add(0);
+    h.add(49);
+    h.add(50);
+    h.add(999);
+    h.add(5000); // beyond the last edge: clamped
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[19], 1u);
+    EXPECT_EQ(h.bins().back(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, EmptyHistogramMoments)
+{
+    Histogram h{histSpec(HistId::TaskCycles)};
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+/** Fill a registry with deterministic pseudo-random samples. */
+HistogramRegistry
+sampledRegistry(std::uint32_t seed, std::size_t samples)
+{
+    std::mt19937_64 rng(seed);
+    HistogramRegistry reg;
+    for (std::size_t i = 0; i < samples; ++i) {
+        reg.add(HistId::TaskCycles, rng() % (1u << 20));
+        reg.add(HistId::ImageRowNnz, rng() % 512);
+        reg.add(HistId::RcpPermille, rng() % 1100);
+        reg.add(HistId::FnirValidPartners, rng() % 20);
+    }
+    return reg;
+}
+
+TEST(HistogramRegistry, MergeIsAssociative)
+{
+    const HistogramRegistry a = sampledRegistry(1, 257);
+    const HistogramRegistry b = sampledRegistry(2, 64);
+    const HistogramRegistry c = sampledRegistry(3, 1023);
+
+    HistogramRegistry left = a; // (a + b) + c
+    left += b;
+    left += c;
+    HistogramRegistry bc = b; // a + (b + c)
+    bc += c;
+    HistogramRegistry right = a;
+    right += bc;
+    EXPECT_TRUE(left == right);
+}
+
+TEST(HistogramRegistry, MergeIsPermutationInvariant)
+{
+    // The parallel engine merges per-worker partials in task-index
+    // order, but the merged registry must not depend on how the
+    // samples were partitioned or in which order partials combine.
+    std::mt19937_64 rng(42);
+    std::vector<std::uint64_t> values(500);
+    for (auto &v : values)
+        v = rng() % (1u << 16);
+
+    HistogramRegistry forward;
+    for (const std::uint64_t v : values)
+        forward.add(HistId::TaskCycles, v);
+
+    HistogramRegistry reversed;
+    for (auto it = values.rbegin(); it != values.rend(); ++it)
+        reversed.add(HistId::TaskCycles, *it);
+    EXPECT_TRUE(forward == reversed);
+
+    // Split into 7 round-robin partials, merge in two different
+    // orders.
+    std::vector<HistogramRegistry> parts(7);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        parts[i % parts.size()].add(HistId::TaskCycles, values[i]);
+    HistogramRegistry ascending;
+    for (const HistogramRegistry &part : parts)
+        ascending += part;
+    HistogramRegistry descending;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        descending += *it;
+    EXPECT_TRUE(ascending == descending);
+    EXPECT_TRUE(ascending == forward);
+}
+
+TEST(HistogramRegistry, MergePreservesMoments)
+{
+    HistogramRegistry a;
+    a.add(HistId::FnirValidPartners, 3);
+    a.add(HistId::FnirValidPartners, 9);
+    HistogramRegistry b;
+    b.add(HistId::FnirValidPartners, 1);
+    a += b;
+    const Histogram &h = a.get(HistId::FnirValidPartners);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 13u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 9u);
+}
+
+TEST(HistogramRegistry, NamesAreStable)
+{
+    // Report schema and trace_summary.py key off these exact names.
+    EXPECT_STREQ(histName(HistId::TaskCycles), "task_cycles");
+    EXPECT_STREQ(histName(HistId::ImageRowNnz), "image_row_nnz");
+    EXPECT_STREQ(histName(HistId::RcpPermille), "rcp_permille");
+    EXPECT_STREQ(histName(HistId::FnirValidPartners),
+                 "fnir_valid_partners");
+}
+
+} // namespace
+} // namespace obs
+} // namespace antsim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tracing must observe, never perturb: with the sink attached, every
+ * PE model produces bit-identical NetworkStats to the untraced run
+ * (same counters, layers, phases). The instrumentation only mirrors
+ * cycle accounting that already happened -- a divergence here means a
+ * site advanced state instead of recording it. Also pins the
+ * no-tracing fast path (recorder() stays null, so sites reduce to one
+ * branch) and that reports omit the histograms section unless tracing
+ * supplied one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ant/ant_pe.hh"
+#include "baselines/inner_product.hh"
+#include "obs/trace.hh"
+#include "report/report.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace {
+
+std::vector<ConvLayer>
+tinyNetwork()
+{
+    return {
+        {"l0", 2, 16, 24, 24, 3, 1, 1},
+        {"l1", 16, 16, 24, 24, 3, 2, 1},
+        {"l2", 16, 8, 12, 12, 1, 1, 0},
+    };
+}
+
+std::vector<std::unique_ptr<PeModel>>
+allPeModels()
+{
+    std::vector<std::unique_ptr<PeModel>> pes;
+    pes.push_back(std::make_unique<ScnnPe>());
+    pes.push_back(std::make_unique<AntPe>());
+    pes.push_back(std::make_unique<DenseInnerProductPe>());
+    pes.push_back(std::make_unique<TensorDashPe>());
+    return pes;
+}
+
+void
+expectIdenticalStats(const NetworkStats &expected, const NetworkStats &got,
+                     const std::string &context)
+{
+    for (std::size_t c = 0; c < kNumCounters; ++c) {
+        const auto counter = static_cast<Counter>(c);
+        EXPECT_EQ(expected.total.get(counter), got.total.get(counter))
+            << context << ": total " << counterName(counter);
+    }
+    ASSERT_EQ(expected.layers.size(), got.layers.size()) << context;
+    for (std::size_t li = 0; li < expected.layers.size(); ++li) {
+        for (std::size_t pi = 0; pi < expected.layers[li].phases.size();
+             ++pi) {
+            const PhaseStats &ep = expected.layers[li].phases[pi];
+            const PhaseStats &gp = got.layers[li].phases[pi];
+            for (std::size_t c = 0; c < kNumCounters; ++c) {
+                const auto counter = static_cast<Counter>(c);
+                EXPECT_EQ(ep.counters.get(counter),
+                          gp.counters.get(counter))
+                    << context << ": layer "
+                    << expected.layers[li].name << " phase " << pi
+                    << " " << counterName(counter);
+            }
+        }
+    }
+}
+
+TEST(ObsOverhead, TracingDoesNotPerturbNetworkStats)
+{
+    for (const auto &pe : allPeModels()) {
+        RunConfig config;
+        config.sampleCap = 2;
+        config.numThreads = 2;
+
+        obs::setEnabled(false);
+        const auto untraced = runConvNetwork(
+            *pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+
+        obs::setEnabled(true);
+        obs::globalSink().clear();
+        const auto traced = runConvNetwork(
+            *pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+        obs::globalSink().clear();
+        obs::setEnabled(false);
+
+        expectIdenticalStats(untraced, traced, pe->name());
+    }
+}
+
+TEST(ObsOverhead, TracingDoesNotPerturbMatmulStats)
+{
+    std::vector<std::unique_ptr<PeModel>> pes;
+    pes.push_back(std::make_unique<ScnnPe>());
+    pes.push_back(std::make_unique<AntPe>());
+    for (const auto &pe : pes) {
+        RunConfig config;
+        config.numThreads = 2;
+
+        obs::setEnabled(false);
+        const auto untraced = runMatmulNetwork(
+            *pe, rnnLayers(), 0.9, SparsifyMethod::TopK, config);
+
+        obs::setEnabled(true);
+        obs::globalSink().clear();
+        const auto traced = runMatmulNetwork(
+            *pe, rnnLayers(), 0.9, SparsifyMethod::TopK, config);
+        obs::globalSink().clear();
+        obs::setEnabled(false);
+
+        expectIdenticalStats(untraced, traced,
+                             pe->name() + "/matmul");
+    }
+}
+
+TEST(ObsOverhead, DisabledTracingLeavesNoRecorder)
+{
+    obs::setEnabled(false);
+    EXPECT_EQ(obs::traceSink(), nullptr);
+    RunConfig config;
+    config.sampleCap = 1;
+    ScnnPe pe;
+    runConvNetwork(pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+    // The fast path never installs a thread-local recorder.
+    EXPECT_EQ(obs::recorder(), nullptr);
+}
+
+TEST(ObsOverhead, ReportOmitsHistogramsUnlessProvided)
+{
+    RunReport plain;
+    const std::string without = plain.toJson(false).dump();
+    EXPECT_EQ(without.find("histograms"), std::string::npos);
+
+    RunReport with;
+    with.setHistograms(obs::HistogramRegistry{});
+    EXPECT_NE(with.toJson(false).dump().find("histograms"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace antsim

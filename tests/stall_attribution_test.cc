@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The stall-attribution law the report layer promises downstream
+ * tooling (docs/report_schema.json, scripts/validate_report.py): for
+ * every PE model and every layer,
+ *     active + startup + idle_scan + imbalance == cycles
+ * holds *exactly*. stallBreakdown builds the decomposition saturating
+ * so the law is true by construction even on sample-scaled counter
+ * sets, whose independent rounding (CounterSet::scale) breaks the
+ * additive cycle-partition identity by a few counts; on unscaled runs
+ * the residual must vanish entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ant/ant_pe.hh"
+#include "baselines/inner_product.hh"
+#include "report/report.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace {
+
+std::vector<ConvLayer>
+tinyNetwork()
+{
+    return {
+        {"l0", 2, 16, 24, 24, 3, 1, 1},
+        {"l1", 16, 16, 24, 24, 3, 2, 1},
+        {"l2", 16, 8, 12, 12, 1, 1, 0},
+    };
+}
+
+std::vector<std::unique_ptr<PeModel>>
+allPeModels()
+{
+    std::vector<std::unique_ptr<PeModel>> pes;
+    pes.push_back(std::make_unique<ScnnPe>());
+    pes.push_back(std::make_unique<AntPe>());
+    pes.push_back(std::make_unique<DenseInnerProductPe>());
+    pes.push_back(std::make_unique<TensorDashPe>());
+    return pes;
+}
+
+void
+expectExactSum(const CounterSet &counters, const std::string &context)
+{
+    const StallBreakdown b = stallBreakdown(counters);
+    EXPECT_EQ(b.active + b.startup + b.idleScan + b.imbalance, b.cycles)
+        << context;
+    EXPECT_EQ(b.cycles, counters.get(Counter::Cycles)) << context;
+}
+
+TEST(StallAttribution, ComponentsSumExactlyForEveryPeModel)
+{
+    for (const auto &pe : allPeModels()) {
+        RunConfig config;
+        config.sampleCap = 2; // force sample scaling: the hard case
+        const NetworkStats stats = runConvNetwork(
+            *pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+        expectExactSum(stats.total, pe->name() + "/total");
+        for (const LayerStats &layer : stats.layers) {
+            CounterSet totals;
+            for (const PhaseStats &phase : layer.phases)
+                if (phase.pairsTotal > 0)
+                    totals += phase.counters;
+            expectExactSum(totals, pe->name() + "/" + layer.name);
+            for (const PhaseStats &phase : layer.phases)
+                expectExactSum(phase.counters,
+                               pe->name() + "/" + layer.name + "/phase");
+        }
+    }
+}
+
+TEST(StallAttribution, UnscaledRunsHaveNoResidual)
+{
+    // With every pair simulated there is no scale rounding, so the
+    // cycle-partition identity holds additively and the catch-all
+    // component must be exactly zero.
+    for (const auto &pe : allPeModels()) {
+        RunConfig config;
+        config.sampleCap = 1u << 30;
+        const NetworkStats stats = runConvNetwork(
+            *pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+        const StallBreakdown b = stallBreakdown(stats.total);
+        EXPECT_EQ(b.imbalance, 0u) << pe->name();
+        EXPECT_EQ(b.active + b.startup + b.idleScan, b.cycles)
+            << pe->name();
+    }
+}
+
+TEST(StallAttribution, SaturatesPathologicalCounterSets)
+{
+    // Hand-built sets that violate the partition law badly must still
+    // decompose to an exact sum (never underflow or overshoot).
+    CounterSet overshoot;
+    overshoot.set(Counter::Cycles, 10);
+    overshoot.set(Counter::ActiveCycles, 25); // > Cycles
+    overshoot.set(Counter::StartupCycles, 5);
+    overshoot.set(Counter::IdleScanCycles, 5);
+    StallBreakdown b = stallBreakdown(overshoot);
+    EXPECT_EQ(b.active, 10u);
+    EXPECT_EQ(b.startup, 0u);
+    EXPECT_EQ(b.idleScan, 0u);
+    EXPECT_EQ(b.imbalance, 0u);
+    EXPECT_EQ(b.active + b.startup + b.idleScan + b.imbalance, b.cycles);
+
+    CounterSet undershoot;
+    undershoot.set(Counter::Cycles, 100);
+    undershoot.set(Counter::ActiveCycles, 40);
+    b = stallBreakdown(undershoot);
+    EXPECT_EQ(b.active, 40u);
+    EXPECT_EQ(b.imbalance, 60u);
+    EXPECT_EQ(b.active + b.startup + b.idleScan + b.imbalance, b.cycles);
+
+    b = stallBreakdown(CounterSet{});
+    EXPECT_EQ(b.cycles, 0u);
+    EXPECT_EQ(b.imbalance, 0u);
+}
+
+TEST(StallAttribution, ReportRowsSatisfyTheLaw)
+{
+    // The serialized stall_attribution section must obey the same law
+    // row by row -- this is exactly what validate_report.py rejects
+    // reports over.
+    AntPe ant;
+    RunConfig config;
+    config.sampleCap = 2;
+    const NetworkStats stats = runConvNetwork(
+        ant, tinyNetwork(), SparsityProfile::swat(0.9), config);
+
+    RunReport report;
+    report.addStallAttribution("ant/tiny", stats, ant.name(),
+                               ant.multiplierCount());
+    const Json doc = report.toJson(false);
+    const Json &section = doc.at("stall_attribution");
+    ASSERT_EQ(section.size(), 1u);
+    const Json &entry = section.at(std::size_t{0});
+    EXPECT_EQ(entry.at("network").asString(), "ant/tiny");
+    EXPECT_EQ(entry.at("pe_model").asString(), ant.name());
+
+    auto check_row = [](const Json &row) {
+        EXPECT_EQ(row.at("active").asUint() + row.at("startup").asUint() +
+                      row.at("idle_scan").asUint() +
+                      row.at("imbalance").asUint(),
+                  row.at("cycles").asUint())
+            << row.at("layer").asString();
+    };
+    const Json &layers = entry.at("layers");
+    ASSERT_EQ(layers.size(), tinyNetwork().size());
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        check_row(layers.at(i));
+    check_row(entry.at("total"));
+}
+
+} // namespace
+} // namespace antsim
