@@ -9,6 +9,11 @@
  * reduction, DESIGN.md), the bench also asserts that every thread
  * count reproduces the 1-thread cycle and multiply totals bit for bit
  * -- a live end-to-end check of the guarantee the test tier pins.
+ *
+ * antsim-lint: allow-file(no-wall-clock-in-sim) -- this bench measures
+ * host wall-clock scaling of the thread pool by design; no simulated
+ * statistic derives from the timings (the bit-identity assert proves
+ * it).
  */
 
 #include <chrono>

@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
-# Static-analysis gate for ANTSim: clang-tidy over every source file in
-# src/ (using the compile_commands.json of an existing build tree) plus
-# a handful of grep-level convention checks that clang-tidy cannot
-# express. Run from anywhere; exits non-zero on any finding.
+# Static-analysis gate for ANTSim: the project-specific antsim-lint
+# pass (determinism/conservation contracts, scripts/antsim_lint.py),
+# clang-tidy over every source file in src/ (using the
+# compile_commands.json of an existing build tree), plus a handful of
+# grep-level convention checks that clang-tidy cannot express. Run
+# from anywhere; exits non-zero on any finding.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir defaults to ./build and must contain compile_commands.json
 #   (the top-level CMakeLists.txt always exports one).
+#
+# antsim-lint writes its findings as SARIF to
+# ${build_dir}/antsim_lint.sarif for CI artifact upload.
 
 set -u
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 status=0
+
+# ---------------------------------------------------------- antsim-lint
+if command -v python3 >/dev/null 2>&1; then
+    echo "lint: running antsim-lint (determinism/conservation contracts)"
+    mkdir -p "${build_dir}"
+    if ! python3 "${repo_root}/scripts/antsim_lint.py" \
+             --compile-commands "${build_dir}/compile_commands.json" \
+             --sarif "${build_dir}/antsim_lint.sarif"; then
+        status=1
+    fi
+else
+    echo "lint: python3 not found, skipping antsim-lint stage" >&2
+fi
 
 # ---------------------------------------------------------------- tidy
 if command -v clang-tidy >/dev/null 2>&1; then

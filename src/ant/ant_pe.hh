@@ -96,7 +96,11 @@ class AntPe : public PeModel
     std::unique_ptr<PeModel>
     clone() const override
     {
-        return std::make_unique<AntPe>(config_);
+        // Copy-construct so every data member (config_ AND fnir_, plus
+        // anything added later) replicates; rebuilding from config_
+        // alone would silently drop future stateful members and break
+        // parallel determinism (the clone-completeness lint rule).
+        return std::make_unique<AntPe>(*this);
     }
 
     const AntPeConfig &config() const { return config_; }

@@ -225,8 +225,13 @@ AntPipelineModel::run(const ProblemSpec &spec, const CsrMatrix &kernel,
     std::vector<GroupPlan> plans(group_count);
     std::optional<ScopedTimer> plan_timer(std::in_place, Stage::PlanBuild);
     ThreadPool plan_pool(num_threads);
-    plan_pool.parallelFor(0, group_count, /*grain=*/8, [&](
-                              std::uint64_t g, std::uint32_t) {
+    plan_pool.parallelFor(
+        0, group_count, /*grain=*/8,
+        // antsim-lint: allow(parallel-capture-discipline) -- per-slot
+        // discipline: each task writes only plans[g] (its own
+        // group-indexed slot); every other capture is read-only
+        // (trace_determinism_test proves thread-count invariance).
+        [&](std::uint64_t g, std::uint32_t) {
         const std::size_t ib = static_cast<std::size_t>(g) * n;
         GroupPlan plan;
         plan.image_begin = ib;

@@ -189,8 +189,16 @@ TensorDashPe::runStack(const ProblemSpec &spec,
     const double compute_cycles =
         std::max(window_bound, work_bound) / config_.packEfficiency;
 
-    const std::uint64_t cycles = config_.startupCycles +
+    // Single rounding site: packEfficiency is a fractional model
+    // parameter, so the cycle bound is inherently float-domain; it is
+    // rounded to an integer exactly once here, and every counter below
+    // derives from this value in integer arithmetic (previously the
+    // ceil was taken independently at two sites).
+    // antsim-lint: allow(counter-exactness) -- one documented rounding
+    const std::uint64_t compute_cycle_count =
         static_cast<std::uint64_t>(std::ceil(compute_cycles));
+    const std::uint64_t cycles =
+        config_.startupCycles + compute_cycle_count;
     c.add(Counter::StartupCycles, config_.startupCycles);
     c.add(Counter::ActiveCycles, cycles - config_.startupCycles);
     c.set(Counter::Cycles, cycles);
@@ -203,9 +211,7 @@ TensorDashPe::runStack(const ProblemSpec &spec,
     // pairs; the dense (kernel) side streams every scheduled slot.
     c.add(Counter::SramValueReads, (nz_macs + 1) / 2);
     c.add(Counter::SramIndexReads, (nz_macs + 1) / 2);
-    chargeDenseReads(static_cast<std::uint64_t>(
-                         std::ceil(compute_cycles)) * config_.multipliers,
-                     c);
+    chargeDenseReads(compute_cycle_count * config_.multipliers, c);
     c.add(Counter::SramWrites,
           kernels.size() *
               ((static_cast<std::uint64_t>(spec.outH()) * spec.outW() +

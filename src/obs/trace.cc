@@ -12,7 +12,7 @@ namespace antsim {
 namespace obs {
 
 namespace detail {
-thread_local UnitRecorder *t_recorder = nullptr;
+thread_local constinit UnitRecorder *t_recorder = nullptr;
 } // namespace detail
 
 namespace {

@@ -191,7 +191,12 @@ class UnitRecorder
 };
 
 namespace detail {
-extern thread_local UnitRecorder *t_recorder;
+// constinit: guarantees constant initialization, so cross-TU access
+// compiles to a direct TLS load instead of going through the compiler
+// generated init-on-first-use wrapper (which gcc's UBSan null check
+// flags, and which would put a function call on the tracing-off fast
+// path).
+extern thread_local constinit UnitRecorder *t_recorder;
 } // namespace detail
 
 /** The calling thread's live recorder; nullptr when tracing is off. */

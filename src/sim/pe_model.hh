@@ -37,7 +37,17 @@ struct PeResult
 class PeModel
 {
   public:
+    PeModel() = default;
     virtual ~PeModel() = default;
+
+  protected:
+    // Copyable only by derived classes (their clone() implementations
+    // delegate to copy construction); copying through a base pointer
+    // would slice, and replication must go through clone().
+    PeModel(const PeModel &) = default;
+    PeModel &operator=(const PeModel &) = default;
+
+  public:
 
     /** Human-readable model name for reports. */
     virtual std::string name() const = 0;

@@ -270,6 +270,11 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, units.size(), /*grain=*/1,
+        // antsim-lint: allow(parallel-capture-discipline) -- per-slot
+        // discipline: each task writes only unit_counters[i] (its own
+        // task-indexed slot) plus relaxed atomics; all other captures
+        // are read-only, and each worker simulates on its private
+        // worker_pes[worker] clone (parallel_determinism_test).
         [&](std::uint64_t i, std::uint32_t worker) {
             const ConvUnit &unit = units[i];
             const ConvLayer &layer = layers[unit.layer];
@@ -344,6 +349,11 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, layers.size(), /*grain=*/1,
+        // antsim-lint: allow(parallel-capture-discipline) -- per-slot
+        // discipline: each task writes only layer_counters[li] (its
+        // own layer-indexed slot) plus relaxed atomics; other captures
+        // are read-only, and each worker simulates on its private
+        // worker_pes[worker] clone (parallel_determinism_test).
         [&](std::uint64_t li, std::uint32_t worker) {
             const obs::ScopedUnitTrace trace(
                 sink, trace_run, li,

@@ -1,0 +1,49 @@
+// antsim-lint fixture: clone-completeness must stay QUIET here.
+// One clone mentions every member explicitly; the other delegates to
+// the copy constructor via *this (always complete).
+#include <cstdint>
+#include <memory>
+
+class PeModel
+{
+  public:
+    virtual ~PeModel() = default;
+    virtual std::unique_ptr<PeModel> clone() const = 0;
+};
+
+struct Config
+{
+    std::uint32_t n = 4;
+};
+
+class ExplicitPe : public PeModel
+{
+  public:
+    explicit ExplicitPe(const Config &config) : config_(config) {}
+
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        auto copy = std::make_unique<ExplicitPe>(config_);
+        copy->scratch_ = scratch_;
+        return copy;
+    }
+
+  private:
+    Config config_;
+    std::uint64_t scratch_ = 0;
+};
+
+class CopyCtorPe : public PeModel
+{
+  public:
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<CopyCtorPe>(*this);
+    }
+
+  private:
+    Config config_;
+    std::uint64_t scratch_ = 0;
+};

@@ -1,0 +1,40 @@
+// antsim-lint fixture: clone-completeness must FIRE here, twice:
+// one PeModel subclass whose clone() drops a data member, and one that
+// does not override clone() at all.
+#include <cstdint>
+#include <memory>
+
+class PeModel
+{
+  public:
+    virtual ~PeModel() = default;
+    virtual std::unique_ptr<PeModel> clone() const = 0;
+};
+
+struct Config
+{
+    std::uint32_t n = 4;
+};
+
+class ForgetfulPe : public PeModel
+{
+  public:
+    explicit ForgetfulPe(const Config &config) : config_(config) {}
+
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        // BUG: scratch_ is not replicated; worker replicas diverge.
+        return std::make_unique<ForgetfulPe>(config_);
+    }
+
+  private:
+    Config config_;
+    std::uint64_t scratch_ = 0;
+};
+
+class CloneLessPe : public PeModel
+{
+  private:
+    Config config_;
+};

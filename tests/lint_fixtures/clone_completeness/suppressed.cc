@@ -1,0 +1,38 @@
+// antsim-lint fixture: clone-completeness SUPPRESSED here.
+// The omitted member is a pure function of config_, rebuilt by the
+// constructor; the suppression records that proof.
+#include <cstdint>
+#include <memory>
+
+class PeModel
+{
+  public:
+    virtual ~PeModel() = default;
+    virtual std::unique_ptr<PeModel> clone() const = 0;
+};
+
+struct Config
+{
+    std::uint32_t n = 4;
+};
+
+// antsim-lint: allow(clone-completeness) -- derived_ is a pure
+// function of config_ recomputed by the constructor, so rebuilding
+// from config_ replicates it exactly.
+class DerivedStatePe : public PeModel
+{
+  public:
+    explicit DerivedStatePe(const Config &config)
+        : config_(config), derived_(config.n * config.n)
+    {}
+
+    std::unique_ptr<PeModel>
+    clone() const override
+    {
+        return std::make_unique<DerivedStatePe>(config_);
+    }
+
+  private:
+    Config config_;
+    std::uint64_t derived_;
+};

@@ -1,0 +1,36 @@
+// antsim-lint fixture: counter-exactness must FIRE here, three ways:
+// a float literal at the insertion point, a double variable flowing
+// in through a cast, and a tainted integer (rounded from a double)
+// reaching a counter two statements later.
+#include <cmath>
+#include <cstdint>
+
+enum class Counter : unsigned { Cycles, MultsExecuted };
+
+class CounterSet
+{
+  public:
+    void add(Counter, std::uint64_t) {}
+    void set(Counter, std::uint64_t) {}
+};
+
+void
+directLiteral(CounterSet &c)
+{
+    c.add(Counter::MultsExecuted,
+          static_cast<std::uint64_t>(1.5 * 100));
+}
+
+void
+castDouble(CounterSet &c, double utilization)
+{
+    c.set(Counter::Cycles, static_cast<std::uint64_t>(utilization));
+}
+
+void
+taintedIntermediate(CounterSet &c, double efficiency)
+{
+    const std::uint64_t cycles =
+        static_cast<std::uint64_t>(std::ceil(100.0 / efficiency));
+    c.add(Counter::Cycles, cycles);
+}

@@ -1,0 +1,34 @@
+// antsim-lint fixture: counter-exactness SUPPRESSED here, two ways:
+// at the insertion point, and at the taint source (the sanctioned
+// single-rounding-site discipline: the suppression on the declaration
+// sanctions the variable, so downstream insertions stay quiet).
+#include <cmath>
+#include <cstdint>
+
+enum class Counter : unsigned { Cycles, MultsExecuted };
+
+class CounterSet
+{
+  public:
+    void add(Counter, std::uint64_t) {}
+    void set(Counter, std::uint64_t) {}
+};
+
+void
+atInsertion(CounterSet &c, double derate)
+{
+    // antsim-lint: allow(counter-exactness) -- fractional derating
+    // model; rounded once, documented in the model notes.
+    c.set(Counter::Cycles, static_cast<std::uint64_t>(derate * 8.0));
+}
+
+void
+atTaintSource(CounterSet &c, double efficiency)
+{
+    // antsim-lint: allow(counter-exactness) -- single rounding site;
+    // every counter below derives from this integer exactly.
+    const std::uint64_t cycles =
+        static_cast<std::uint64_t>(std::ceil(100.0 / efficiency));
+    c.set(Counter::Cycles, cycles);
+    c.add(Counter::MultsExecuted, cycles * 16);
+}

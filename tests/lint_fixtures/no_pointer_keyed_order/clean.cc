@@ -1,0 +1,16 @@
+// antsim-lint fixture: no-pointer-keyed-order must stay QUIET here.
+// Ordered containers keyed on stable identities (names, indices), and
+// pointer *values* (not keys) are fine.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+struct Module
+{
+    std::string name;
+};
+
+std::map<std::string, Module *> g_modules_by_name;
+std::map<std::uint64_t, std::uint64_t> g_cycles_by_index;
+std::set<std::string> g_seen_names;

@@ -1,0 +1,21 @@
+// antsim-lint fixture: no-pointer-keyed-order must FIRE here.
+// std::map and std::set keyed on raw pointers order elements by
+// address, which differs run to run.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+struct Module
+{
+    std::string name;
+};
+
+std::map<Module *, std::uint64_t> g_module_cycles;
+
+struct Registry
+{
+    std::set<const Module *> live;
+
+    void track(const Module *m) { live.insert(m); }
+};

@@ -1,0 +1,20 @@
+// antsim-lint fixture: no-pointer-keyed-order SUPPRESSED here.
+// A pointer-keyed set used purely for membership tests (never
+// iterated), with the justification inline.
+#include <set>
+
+struct Module;
+
+struct DedupFilter
+{
+    // antsim-lint: allow(no-pointer-keyed-order) -- membership-only
+    // set (insert/count); nothing ever iterates it, so address order
+    // cannot leak into results.
+    std::set<const Module *> seen;
+
+    bool
+    firstVisit(const Module *m)
+    {
+        return seen.insert(m).second;
+    }
+};

@@ -1,0 +1,38 @@
+// antsim-lint fixture: no-unordered-iteration must stay QUIET here.
+// Unordered containers used only for order-independent operations
+// (find/count/insert/clear), and iteration only over ordered
+// containers.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Cache
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> table;
+
+    bool
+    lookup(std::uint64_t key, std::uint64_t &value) const
+    {
+        const auto it = table.find(key);
+        if (it == table.end())
+            return false;
+        value = it->second;
+        return true;
+    }
+
+    void insert(std::uint64_t k, std::uint64_t v) { table[k] = v; }
+    void reset() { table.clear(); }
+};
+
+std::uint64_t
+sumOrdered(const std::map<std::uint64_t, std::uint64_t> &bins,
+           const std::vector<std::uint64_t> &extras)
+{
+    std::uint64_t sum = 0;
+    for (const auto &entry : bins)
+        sum += entry.second;
+    for (std::uint64_t e : extras)
+        sum += e;
+    return sum;
+}

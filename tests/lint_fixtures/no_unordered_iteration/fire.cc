@@ -1,0 +1,36 @@
+// antsim-lint fixture: no-unordered-iteration must FIRE here.
+// Three nondeterministic iteration shapes: a range-for over an
+// unordered_map member, a range-for over a local unordered_set, and an
+// explicit iterator loop via .begin().
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Histogram
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> bins;
+
+    std::uint64_t
+    firstKeySeen() const
+    {
+        for (const auto &entry : bins)
+            return entry.first;
+        return 0;
+    }
+};
+
+std::uint64_t
+sumKeys(const std::unordered_set<std::uint64_t> &keys)
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t k : keys)
+        sum += k;
+    return sum;
+}
+
+std::uint64_t
+firstViaIterator(const std::unordered_map<int, int> &table)
+{
+    auto it = table.begin();
+    return it == table.end() ? 0 : it->second;
+}

@@ -1,0 +1,16 @@
+// antsim-lint fixture: no-unordered-iteration SUPPRESSED here.
+// The loop result is a commutative reduction (order-independent), so
+// the iteration is provably safe and carries a justification.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t
+totalCount(const std::unordered_map<std::uint64_t, std::uint64_t> &bins)
+{
+    std::uint64_t sum = 0;
+    // antsim-lint: allow(no-unordered-iteration) -- commutative sum
+    // over values; the result is independent of hash order.
+    for (const auto &entry : bins)
+        sum += entry.second;
+    return sum;
+}

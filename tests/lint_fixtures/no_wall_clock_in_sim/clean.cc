@@ -1,0 +1,38 @@
+// antsim-lint fixture: no-wall-clock-in-sim must stay QUIET here.
+// Simulated time comes from a cycle counter and member functions named
+// time()/clock() are simulated state, not the C library.
+#include <cstdint>
+
+class SimClock
+{
+  public:
+    void tick() { ++cycle_; }
+    std::uint64_t cycle() const { return cycle_; }
+
+    // Member functions named like the banned C calls are fine: the
+    // rule only matches free or std-qualified calls.
+    std::uint64_t time() const { return cycle_; }
+    std::uint64_t clock() const { return cycle_; }
+
+  private:
+    std::uint64_t cycle_ = 0;
+};
+
+std::uint64_t
+elapsed(const SimClock &clk)
+{
+    return clk.time() + clk.clock();
+}
+
+// A user type's static member shadows nothing: qualified by a
+// non-std class name, so not the C library either.
+struct Scheduler
+{
+    static std::uint64_t time() { return 7; }
+};
+
+std::uint64_t
+scheduled()
+{
+    return Scheduler::time();
+}

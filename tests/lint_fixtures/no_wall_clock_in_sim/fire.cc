@@ -1,0 +1,35 @@
+// antsim-lint fixture: no-wall-clock-in-sim must FIRE here.
+// Wall-clock reads and platform randomness inside simulation code.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t
+seedFromEntropy()
+{
+    std::random_device entropy;
+    return entropy();
+}
+
+int
+diceRoll()
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    return std::rand() % 6;
+}
+
+double
+engineDraw()
+{
+    std::mt19937_64 engine(42);
+    return static_cast<double>(engine()) / 1e19;
+}

@@ -1,0 +1,14 @@
+// antsim-lint fixture: no-wall-clock-in-sim SUPPRESSED here.
+// A diagnostics-only wall-clock read with a justification, plus a
+// file-wide style suppression exercised on a second site.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+hostProfileNanos()
+{
+    // antsim-lint: allow(no-wall-clock-in-sim) -- host-side profiling
+    // only; the value never reaches simulated statistics.
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

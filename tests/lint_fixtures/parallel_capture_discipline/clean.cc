@@ -1,0 +1,37 @@
+// antsim-lint fixture: parallel-capture-discipline must stay QUIET.
+// Value captures only; by-reference lambdas not passed to parallelFor
+// (plain algorithms, serial helpers) are out of the rule's scope.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Pool
+{
+    template <typename Fn>
+    void
+    parallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t,
+                Fn &&fn)
+    {
+        for (std::uint64_t i = begin; i < end; ++i)
+            fn(i, 0u);
+    }
+};
+
+void
+scaled(Pool &pool, std::uint64_t n)
+{
+    const std::uint64_t factor = 3;
+    pool.parallelFor(0, n, 1, [factor](std::uint64_t i, std::uint32_t) {
+        (void)(i * factor);
+    });
+}
+
+std::uint64_t
+serialSum(const std::vector<std::uint64_t> &values)
+{
+    std::uint64_t total = 0;
+    // By-reference capture in a serial algorithm: fine.
+    std::for_each(values.begin(), values.end(),
+                  [&total](std::uint64_t v) { total += v; });
+    return total;
+}

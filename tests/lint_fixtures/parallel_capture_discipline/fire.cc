@@ -1,0 +1,39 @@
+// antsim-lint fixture: parallel-capture-discipline must FIRE here.
+// A default by-reference capture and a named by-reference capture in
+// lambdas handed to parallelFor -- unproven shared mutable state.
+#include <cstdint>
+#include <vector>
+
+struct Pool
+{
+    template <typename Fn>
+    void
+    parallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t,
+                Fn &&fn)
+    {
+        for (std::uint64_t i = begin; i < end; ++i)
+            fn(i, 0u);
+    }
+};
+
+std::uint64_t
+racyTotal(Pool &pool, const std::vector<std::uint64_t> &values)
+{
+    std::uint64_t total = 0;
+    pool.parallelFor(0, values.size(), 1,
+                     [&](std::uint64_t i, std::uint32_t) {
+                         total += values[i]; // racy shared accumulator
+                     });
+    return total;
+}
+
+std::uint64_t
+racyNamedCapture(Pool &pool, const std::vector<std::uint64_t> &values)
+{
+    std::uint64_t total = 0;
+    pool.parallelFor(0, values.size(), 1,
+                     [&total, &values](std::uint64_t i, std::uint32_t) {
+                         total += values[i];
+                     });
+    return total;
+}

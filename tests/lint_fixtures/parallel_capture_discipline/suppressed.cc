@@ -1,0 +1,31 @@
+// antsim-lint fixture: parallel-capture-discipline SUPPRESSED here.
+// The sanctioned pattern: by-reference capture whose only writes go to
+// a task-indexed private slot, justified inline.
+#include <cstdint>
+#include <vector>
+
+struct Pool
+{
+    template <typename Fn>
+    void
+    parallelFor(std::uint64_t begin, std::uint64_t end, std::uint64_t,
+                Fn &&fn)
+    {
+        for (std::uint64_t i = begin; i < end; ++i)
+            fn(i, 0u);
+    }
+};
+
+std::vector<std::uint64_t>
+perSlotSquares(Pool &pool, std::uint64_t n)
+{
+    std::vector<std::uint64_t> out(n);
+    pool.parallelFor(0, n, 1,
+                     // antsim-lint: allow(parallel-capture-discipline) -- per-slot
+                     // discipline: each task writes only out[i], its
+                     // own task-indexed slot.
+                     [&](std::uint64_t i, std::uint32_t) {
+                         out[i] = i * i;
+                     });
+    return out;
+}

@@ -1,0 +1,15 @@
+// antsim-lint fixture: suppression meta rules must stay QUIET here,
+// even under --strict: the only suppression is well-formed, justified,
+// and actually used.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+profiled()
+{
+    // antsim-lint: allow(no-wall-clock-in-sim) -- host profiling only;
+    // the value never reaches simulated statistics.
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        now.time_since_epoch().count());
+}

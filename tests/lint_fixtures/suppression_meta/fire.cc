@@ -1,0 +1,27 @@
+// antsim-lint fixture: the suppression meta rules must FIRE here.
+// A suppression with no justification (bad-suppression), one naming an
+// unknown rule (bad-suppression), and -- under --strict -- a
+// well-formed suppression matching no finding (unused-suppression).
+#include <cstdint>
+
+// antsim-lint: allow(no-wall-clock-in-sim)
+std::uint64_t
+unjustified()
+{
+    return 1;
+}
+
+// antsim-lint: allow(made-up-rule) -- the rule does not exist
+std::uint64_t
+unknownRule()
+{
+    return 2;
+}
+
+// antsim-lint: allow(no-pointer-keyed-order) -- nothing here triggers
+// this rule, so strict mode reports the suppression as stale.
+std::uint64_t
+stale()
+{
+    return 3;
+}

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""ctest suite for scripts/antsim_lint.py.
+
+Per-rule fixture triples under tests/lint_fixtures/<rule>/ prove each
+rule fires on a violating example, stays quiet on clean code, and
+honors justified inline suppressions (including under --strict, which
+additionally demands every suppression be *used*). On top of the
+fixtures: the suppression meta rules, SARIF emission, the result
+cache, and the regression gate that the whole repository lints clean.
+
+Only the Python standard library is used (the CI runner deliberately
+has no third-party packages installed); run directly or via ctest:
+
+    python3 tests/lint_test.py -v
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "scripts", "antsim_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+# rule id -> (fixture dir, expected finding count in fire.cc)
+RULE_FIXTURES = {
+    "no-unordered-iteration": ("no_unordered_iteration", 3),
+    "no-wall-clock-in-sim": ("no_wall_clock_in_sim", 6),
+    "parallel-capture-discipline": ("parallel_capture_discipline", 2),
+    "no-pointer-keyed-order": ("no_pointer_keyed_order", 2),
+    "clone-completeness": ("clone_completeness", 2),
+    "counter-exactness": ("counter_exactness", 3),
+}
+
+
+def run_lint(*args, strict=True):
+    """Run the linter (cache disabled, strict by default) and return
+    (exit code, stdout lines)."""
+    cmd = [sys.executable, LINTER, "--no-cache", "--quiet"]
+    if strict:
+        cmd.append("--strict")
+    cmd.extend(args)
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True,
+                          text=True)
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    return proc.returncode, lines
+
+
+def rules_of(lines):
+    """Extract the rule id from each 'path:line:col: rule: msg' line."""
+    out = []
+    for line in lines:
+        m = re.match(r"[^:]+:\d+:\d+:\s*([a-z-]+):", line)
+        if m:
+            out.append(m.group(1))
+    return out
+
+
+class PerRuleFixtures(unittest.TestCase):
+    """fire / clean / suppressed triple for every contract rule."""
+
+    def fixture(self, rule, name):
+        return os.path.join(FIXTURES, RULE_FIXTURES[rule][0], name)
+
+    def test_fire(self):
+        for rule, (_, expected) in RULE_FIXTURES.items():
+            with self.subTest(rule=rule):
+                code, lines = run_lint(self.fixture(rule, "fire.cc"),
+                                       strict=False)
+                self.assertEqual(code, 1,
+                                 f"{rule}/fire.cc should fail:\n" +
+                                 "\n".join(lines))
+                fired = rules_of(lines)
+                self.assertEqual(fired, [rule] * expected,
+                                 f"{rule}/fire.cc findings: {lines}")
+
+    def test_clean(self):
+        for rule in RULE_FIXTURES:
+            with self.subTest(rule=rule):
+                code, lines = run_lint(self.fixture(rule, "clean.cc"))
+                self.assertEqual(
+                    code, 0,
+                    f"{rule}/clean.cc should pass (strict):\n" +
+                    "\n".join(lines))
+
+    def test_suppressed(self):
+        # Strict mode also proves each suppression is used (no
+        # unused-suppression finding) and justified (no
+        # bad-suppression finding).
+        for rule in RULE_FIXTURES:
+            with self.subTest(rule=rule):
+                code, lines = run_lint(
+                    self.fixture(rule, "suppressed.cc"))
+                self.assertEqual(
+                    code, 0,
+                    f"{rule}/suppressed.cc should pass (strict):\n" +
+                    "\n".join(lines))
+
+
+class SuppressionMetaRules(unittest.TestCase):
+    FIRE = os.path.join(FIXTURES, "suppression_meta", "fire.cc")
+    CLEAN = os.path.join(FIXTURES, "suppression_meta", "clean.cc")
+
+    def test_bad_suppressions_fire_by_default(self):
+        code, lines = run_lint(self.FIRE, strict=False)
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(lines),
+                         ["bad-suppression", "bad-suppression"])
+
+    def test_strict_adds_unused_suppression(self):
+        code, lines = run_lint(self.FIRE)
+        self.assertEqual(code, 1)
+        self.assertEqual(
+            sorted(rules_of(lines)),
+            ["bad-suppression", "bad-suppression", "unused-suppression"])
+
+    def test_used_justified_suppression_is_clean_under_strict(self):
+        code, lines = run_lint(self.CLEAN)
+        self.assertEqual(code, 0, "\n".join(lines))
+
+
+class SarifOutput(unittest.TestCase):
+    def test_sarif_document(self):
+        fire = os.path.join(FIXTURES, "no_unordered_iteration",
+                            "fire.cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            sarif_path = os.path.join(tmp, "out.sarif")
+            code, lines = run_lint(fire, "--sarif", sarif_path,
+                                   strict=False)
+            self.assertEqual(code, 1)
+            with open(sarif_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "antsim-lint")
+        results = run["results"]
+        self.assertEqual(len(results), len(lines))
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in results:
+            self.assertEqual(result["ruleId"], "no-unordered-iteration")
+            self.assertEqual(
+                rule_ids[result["ruleIndex"]], result["ruleId"])
+            region = result["locations"][0]["physicalLocation"]["region"]
+            self.assertGreaterEqual(region["startLine"], 1)
+            self.assertGreaterEqual(region["startColumn"], 1)
+
+    def test_sarif_empty_on_clean(self):
+        clean = os.path.join(FIXTURES, "no_unordered_iteration",
+                             "clean.cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            sarif_path = os.path.join(tmp, "out.sarif")
+            code, _ = run_lint(clean, "--sarif", sarif_path)
+            self.assertEqual(code, 0)
+            with open(sarif_path, encoding="utf-8") as f:
+                doc = json.load(f)
+        self.assertEqual(doc["runs"][0]["results"], [])
+
+
+class ResultCache(unittest.TestCase):
+    def test_cache_reuse_and_invalidation(self):
+        fire_src = os.path.join(FIXTURES, "no_pointer_keyed_order",
+                                "fire.cc")
+        with tempfile.TemporaryDirectory() as tmp:
+            work = os.path.join(tmp, "work.cc")
+            cache = os.path.join(tmp, "cache")
+            shutil.copyfile(fire_src, work)
+
+            def lint_cached():
+                proc = subprocess.run(
+                    [sys.executable, LINTER, "--quiet",
+                     "--cache-dir", cache, work],
+                    cwd=REPO_ROOT, capture_output=True, text=True)
+                return proc.returncode, [
+                    l for l in proc.stdout.splitlines() if l.strip()]
+
+            code1, lines1 = lint_cached()
+            code2, lines2 = lint_cached()  # served from cache
+            self.assertEqual((code1, lines1), (code2, lines2))
+            self.assertEqual(code1, 1)
+            self.assertTrue(os.listdir(cache), "cache should be populated")
+
+            # Editing the file must invalidate its cache entry.
+            clean_src = os.path.join(FIXTURES, "no_pointer_keyed_order",
+                                     "clean.cc")
+            shutil.copyfile(clean_src, work)
+            code3, lines3 = lint_cached()
+            self.assertEqual(code3, 0, "\n".join(lines3))
+
+
+class FullRepoRegression(unittest.TestCase):
+    """The admission gate: the repository itself lints clean."""
+
+    def test_repo_is_clean_under_strict(self):
+        code, lines = run_lint()  # default scan dirs, strict
+        self.assertEqual(
+            code, 0,
+            "unsuppressed antsim-lint findings in the repo:\n" +
+            "\n".join(lines))
+
+    def test_list_rules_names_every_rule(self):
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--list-rules"],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        for rule in list(RULE_FIXTURES) + ["bad-suppression",
+                                           "unused-suppression"]:
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
