@@ -10,6 +10,7 @@
 #include "sim/pe_model.hh"
 #include "util/audit.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "workload/trace_cache.hh"
 
 namespace antsim {
@@ -51,7 +52,8 @@ parseOptions(int argc, const char *const *argv,
     std::vector<std::string> known = {"samples",     "seed",      "pes",
                                       "csv",         "chunk",     "audit",
                                       "threads",     "json",      "networks",
-                                      "trace-cache", "trace-out", "log-level"};
+                                      "trace-cache", "trace-out", "log-level",
+                                      "simd"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     // Environment first, flags after: --log-level wins over
     // ANTSIM_LOG_LEVEL, --trace-out wins over ANTSIM_TRACE.
@@ -105,6 +107,18 @@ parseOptions(int argc, const char *const *argv,
         obs::setEnabled(true);
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);
+    // --simd wins over the ANTSIM_SIMD environment setting (resolved
+    // at startup). The mode never influences results -- AVX2 and
+    // scalar kernels are bit-identical (simd_equivalence_test) -- only
+    // wall time, so it is safe to flip per run.
+    if (g_cli->has("simd")) {
+        const std::string text = g_cli->get("simd");
+        simd::Mode mode = simd::Mode::Auto;
+        if (text == "true" || !simd::parseMode(text, mode))
+            ANT_FATAL("flag --simd expects auto, scalar, or avx2; got '",
+                      text, "'");
+        simd::setMode(mode);
+    }
     // --trace-cache=false turns the plane cache off (A/B timing runs);
     // the default is the ANTSIM_TRACE_CACHE environment setting.
     trace_cache::setEnabled(

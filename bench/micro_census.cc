@@ -17,6 +17,7 @@
 #include "tensor/sparsify.hh"
 #include "util/bfloat16.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "workload/trace_cache.hh"
 #include "workload/tracegen.hh"
 
@@ -130,6 +131,175 @@ BM_FusedPlaneGenerator(benchmark::State &state)
 BENCHMARK(BM_FusedPlaneGenerator)->Arg(32)->Arg(128);
 
 } // namespace
+
+/**
+ * Scalar-vs-AVX2 pairs for the perf gate (scripts/check_perf.py reads
+ * the pair names from perf_baseline.json "micro_speedups"): the same
+ * body with the dispatch mode pinned, so the ratio isolates the vector
+ * kernels. The AVX2 variants are registered only on AVX2 hardware
+ * (see main below); the gate skips a pair whose AVX2 half is absent.
+ * Namespace-scope (not anonymous) so main can register the AVX2 halves.
+ */
+void
+censusBuildWithMode(benchmark::State &state, simd::Mode mode)
+{
+    const simd::Mode saved = simd::mode();
+    simd::setMode(mode);
+    const std::uint32_t dim = 56;
+    const ProblemSpec spec = ProblemSpec::conv(3, 3, dim, dim, 2);
+    const CsrMatrix image = csrPlane(dim, dim, 0.9, 7);
+    for (auto _ : state) {
+        const CensusContext context(spec, image);
+        benchmark::DoNotOptimize(context);
+    }
+    state.SetItemsProcessed(state.iterations() * image.nnz());
+    simd::setMode(saved);
+}
+
+namespace {
+
+void
+BM_CensusBuildScalar(benchmark::State &state)
+{
+    censusBuildWithMode(state, simd::Mode::Scalar);
+}
+BENCHMARK(BM_CensusBuildScalar);
+
+} // namespace
+
+void
+censusStackWithMode(benchmark::State &state, simd::Mode mode)
+{
+    const simd::Mode saved = simd::mode();
+    simd::setMode(mode);
+    const std::uint32_t dim = 56;
+    const ProblemSpec spec = ProblemSpec::conv(3, 3, dim, dim);
+    const CsrMatrix image = csrPlane(dim, dim, 0.9, 7);
+    const auto kernels = kernelStack(3, 0.9);
+    for (auto _ : state) {
+        const CensusContext context(spec, image);
+        ProductCensus census;
+        for (const CsrMatrix &kernel : kernels)
+            census += context.countProducts(kernel);
+        benchmark::DoNotOptimize(census);
+    }
+    state.SetItemsProcessed(state.iterations() * kStackKernels);
+    simd::setMode(saved);
+}
+
+namespace {
+
+void
+BM_CensusStackScalar(benchmark::State &state)
+{
+    censusStackWithMode(state, simd::Mode::Scalar);
+}
+BENCHMARK(BM_CensusStackScalar);
+
+} // namespace
+
+/**
+ * Kernel-level gate pairs: the two census hot loops in isolation
+ * (census_kernels, conv/census.hh), where the speedup target of the
+ * SIMD work is defined. The whole-build pairs above include table
+ * allocation and the O(nnz) census-point scatter, which dilute the
+ * kernel ratio on small conv shapes.
+ */
+void
+satIntegrateWithMode(benchmark::State &state, simd::Mode mode)
+{
+    const simd::Mode saved = simd::mode();
+    simd::setMode(mode);
+    // L1-resident working set (8 x 1024 x 4B = 32 KB): the production
+    // tables are one image row per integration step, so the kernel is
+    // compute-bound in situ; a larger set here would measure DRAM.
+    constexpr std::size_t kRows = 8;
+    constexpr std::size_t kCols = 1024;
+    std::vector<std::uint32_t> table(kRows * kCols);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        table[i] = static_cast<std::uint32_t>(i % 3 == 0);
+    for (auto _ : state) {
+        for (std::size_t v = 1; v < kRows; ++v)
+            census_kernels::satIntegrateRow(table.data() + v * kCols,
+                                            table.data() + (v - 1) * kCols,
+                                            kCols);
+        benchmark::DoNotOptimize(table.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * (kRows - 1) * kCols);
+    simd::setMode(saved);
+}
+
+void
+gatherSumWithMode(benchmark::State &state, simd::Mode mode)
+{
+    const simd::Mode saved = simd::mode();
+    simd::setMode(mode);
+    constexpr std::size_t kTable = 1 << 16;
+    constexpr std::size_t kIndices = 4096;
+    std::vector<std::uint64_t> table(kTable);
+    for (std::size_t i = 0; i < kTable; ++i)
+        table[i] = i * 7;
+    std::vector<std::uint32_t> idx(kIndices);
+    Rng rng(3);
+    for (std::size_t i = 0; i < kIndices; ++i)
+        idx[i] = static_cast<std::uint32_t>(rng.below(kTable));
+    for (auto _ : state) {
+        const std::uint64_t sum =
+            census_kernels::gatherSum(table.data(), idx.data(), kIndices);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kIndices);
+    simd::setMode(saved);
+}
+
+namespace {
+
+void
+BM_SatIntegrateScalar(benchmark::State &state)
+{
+    satIntegrateWithMode(state, simd::Mode::Scalar);
+}
+BENCHMARK(BM_SatIntegrateScalar);
+
+void
+BM_GatherSumScalar(benchmark::State &state)
+{
+    gatherSumWithMode(state, simd::Mode::Scalar);
+}
+BENCHMARK(BM_GatherSumScalar);
+
+} // namespace
 } // namespace antsim
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The AVX2 halves of the perf-gate pairs exist only where they can
+    // run; scripts/check_perf.py treats a missing AVX2 benchmark as
+    // "skip the pair", not as a regression.
+    if (antsim::simd::cpuHasAvx2()) {
+        benchmark::RegisterBenchmark(
+            "BM_CensusBuildAvx2", [](benchmark::State &state) {
+                antsim::censusBuildWithMode(state, antsim::simd::Mode::Avx2);
+            });
+        benchmark::RegisterBenchmark(
+            "BM_CensusStackAvx2", [](benchmark::State &state) {
+                antsim::censusStackWithMode(state, antsim::simd::Mode::Avx2);
+            });
+        benchmark::RegisterBenchmark(
+            "BM_SatIntegrateAvx2", [](benchmark::State &state) {
+                antsim::satIntegrateWithMode(state, antsim::simd::Mode::Avx2);
+            });
+        benchmark::RegisterBenchmark(
+            "BM_GatherSumAvx2", [](benchmark::State &state) {
+                antsim::gatherSumWithMode(state, antsim::simd::Mode::Avx2);
+            });
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -201,6 +201,19 @@ FLOAT_BEARING_CALLS = {
     "trunc", "fabs", "sqrt", "pow", "exp", "log", "log2",
 }
 
+# x86 SIMD intrinsics whose lanes are float or double: the `_ps`/`_pd`
+# packed forms and the `_ss`/`_sd` scalar forms. Their results live in
+# the float domain even when the C return type is integral (e.g.
+# _mm256_movemask_ps returns int), so for counter-exactness they taint
+# like a `double` cast. Sanctioned integer-only idioms -- movemask over
+# an integer compare that was merely bit-cast to float lanes -- carry a
+# justified `// antsim-lint: allow(counter-exactness)` at the site.
+FLOAT_INTRINSIC_RE = re.compile(r"^_mm(?:256|512)?_\w*_(?:ps|pd|ss|sd)$")
+
+
+def is_float_intrinsic(name):
+    return bool(FLOAT_INTRINSIC_RE.match(name))
+
 
 class Finding:
     def __init__(self, rule, path, line, col, message):
@@ -485,11 +498,17 @@ def track_declared_vars(tokens, suppressions=()):
     different type in another scope stays classified, which errs toward
     reporting -- suppressions handle the exceptions.
 
+    Besides initializers, compound assignments (`x += expr` and
+    friends) whose right side is float-domain also taint: that is the
+    accumulation idiom of the SIMD kernels, where an integer tally is
+    built from `_mm*_ps` movemasks (see FLOAT_INTRINSIC_RE).
+
     A counter-exactness suppression placed on (or directly above) an
-    integer declaration sanctions that variable: the rounding site
-    carries the justification once, and the sanctioned integer may then
-    flow into counters freely. This is the "single rounding site"
-    discipline the rule text asks for.
+    integer declaration -- or a tainting compound assignment --
+    sanctions that variable: the rounding site carries the
+    justification once, and the sanctioned integer may then flow into
+    counters freely. This is the "single rounding site" discipline the
+    rule text asks for.
     """
     unordered_vars = set()
     float_vars = set()
@@ -548,22 +567,40 @@ def track_declared_vars(tokens, suppressions=()):
     while changed:
         changed = False
         for i, tok in enumerate(tokens):
-            if tok.kind != "id" or tok.text not in INTEGER_TYPE_NAMES:
+            if tok.kind != "id":
                 continue
-            j = i + 1
-            while j < len(tokens) and tokens[j].text in ("&", "*", "const"):
-                j += 1
-            if j + 1 >= len(tokens) or tokens[j].kind != "id" or \
-                    tokens[j + 1].text != "=":
+            name = None
+            rhs_start = -1
+            if tok.text in INTEGER_TYPE_NAMES:
+                # Declaration with initializer: `uint64_t x = <expr>;`
+                j = i + 1
+                while j < len(tokens) and \
+                        tokens[j].text in ("&", "*", "const"):
+                    j += 1
+                if j + 1 < len(tokens) and tokens[j].kind == "id" and \
+                        tokens[j + 1].text == "=":
+                    name = tokens[j].text
+                    site_line = tokens[j].line
+                    rhs_start = j + 2
+            elif i + 1 < len(tokens) and \
+                    tokens[i + 1].kind == "punct" and \
+                    tokens[i + 1].text in ("+=", "-=", "*=", "/=", "%="):
+                # Compound assignment: `x += <expr>;` (the SIMD-kernel
+                # accumulation idiom). Skip member/qualified accesses;
+                # lexical name matching errs toward reporting anyway.
+                prev = tokens[i - 1] if i > 0 else None
+                if not (prev is not None and prev.kind == "punct" and
+                        prev.text in (".", "->", "::")):
+                    name = tok.text
+                    site_line = tok.line
+                    rhs_start = i + 2
+            if name is None or name in float_vars:
                 continue
-            name = tokens[j].text
-            if name in float_vars:
-                continue
-            if sanctioned(tokens[j].line):
+            if sanctioned(site_line):
                 continue
             depth = 0
             tainted = False
-            for k in range(j + 2, len(tokens)):
+            for k in range(rhs_start, len(tokens)):
                 t = tokens[k]
                 if t.kind == "punct":
                     if t.text in ("(", "[", "{"):
@@ -576,6 +613,7 @@ def track_declared_vars(tokens, suppressions=()):
                         t.kind == "id" and
                         (t.text in ("double", "float") or
                          t.text in FLOAT_BEARING_CALLS or
+                         is_float_intrinsic(t.text) or
                          t.text in float_vars)):
                     tainted = True
             if tainted:
@@ -927,6 +965,8 @@ def rule_counter_exactness(path, tokens, ctx, findings):
                 reasons.append(f"'{t.text}' cast/type")
             elif t.kind == "id" and t.text in FLOAT_BEARING_CALLS:
                 reasons.append(f"float-domain call '{t.text}'")
+            elif t.kind == "id" and is_float_intrinsic(t.text):
+                reasons.append(f"float-lane intrinsic '{t.text}'")
             elif t.kind == "id" and t.text in float_vars:
                 reasons.append(f"floating-point variable '{t.text}'")
         if reasons:

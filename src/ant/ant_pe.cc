@@ -4,12 +4,20 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "conv/census.hh"
 #include "obs/trace.hh"
 #include "sim/accumulator.hh"
+#include "util/arena.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "verify/audit_hooks.hh"
+
+#if defined(__x86_64__)
+#define ANTSIM_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace antsim {
 
@@ -22,6 +30,103 @@ struct Candidate
     std::uint32_t s;
     std::uint32_t r;
 };
+
+/**
+ * The windowed candidate stream in structure-of-arrays form: the FNIR
+ * comparator bank reads s[] directly as one contiguous lane vector,
+ * and the classify kernel gathers on s[]/r[] (64-byte-aligned via
+ * AlignedVec).
+ */
+struct CandidateStream
+{
+    AlignedVec<float> value;
+    AlignedVec<std::uint32_t> s;
+    AlignedVec<std::uint32_t> r;
+
+    std::size_t size() const { return s.size(); }
+    bool empty() const { return s.empty(); }
+
+    void
+    clear()
+    {
+        value.clear();
+        s.clear();
+        r.clear();
+    }
+};
+
+/**
+ * Per-product validity classification of one image entry against a
+ * group of selected candidates: returns how many of the first
+ * @p count (s, r) pairs are valid partners of (x_row, y_row). Scalar
+ * ground truth for the AVX2 gather kernel; the tables store strict
+ * 0/1 bytes.
+ */
+std::uint32_t
+classifyCountScalar(const std::uint8_t *x_row, const std::uint8_t *y_row,
+                    const std::uint32_t *s, const std::uint32_t *r,
+                    std::uint32_t count)
+{
+    std::uint32_t valid = 0;
+    for (std::uint32_t j = 0; j < count; ++j)
+        valid += (x_row[s[j]] && y_row[r[j]]) ? 1 : 0;
+    return valid;
+}
+
+#ifdef ANTSIM_X86_SIMD
+
+__attribute__((target("avx2"))) std::uint32_t
+classifyCountAvx2(const std::uint8_t *x_row, const std::uint8_t *y_row,
+                  const std::uint32_t *s, const std::uint32_t *r,
+                  std::uint32_t count)
+{
+    const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+    const __m256i one = _mm256_set1_epi32(1);
+    std::uint32_t valid = 0;
+    std::uint32_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+        // Byte-granularity gathers through 4-byte loads; the ValidTable
+        // rows carry 3 slack bytes so the widest load stays in bounds.
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(s + j));
+        const __m256i rv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(r + j));
+        const __m256i xb = _mm256_and_si256(
+            _mm256_i32gather_epi32(
+                reinterpret_cast<const int *>(x_row), sv, 1),
+            byte_mask);
+        const __m256i yb = _mm256_and_si256(
+            _mm256_i32gather_epi32(
+                reinterpret_cast<const int *>(y_row), rv, 1),
+            byte_mask);
+        const __m256i both = _mm256_cmpeq_epi32(
+            _mm256_and_si256(xb, yb), one);
+        // antsim-lint: allow(counter-exactness) -- movemask_ps over an
+        // integer compare bit-cast to float lanes: every lane is the
+        // all-ones/all-zero epi32 mask, so the popcounted tally is
+        // exact integer arithmetic, never a rounded float.
+        valid += static_cast<unsigned>(__builtin_popcount(
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(both)))));
+    }
+    for (; j < count; ++j)
+        valid += (x_row[s[j]] && y_row[r[j]]) ? 1 : 0;
+    return valid;
+}
+
+#endif // ANTSIM_X86_SIMD
+
+std::uint32_t
+classifyCount(const std::uint8_t *x_row, const std::uint8_t *y_row,
+              const std::uint32_t *s, const std::uint32_t *r,
+              std::uint32_t count)
+{
+#ifdef ANTSIM_X86_SIMD
+    if (simd::avx2Enabled())
+        return classifyCountAvx2(x_row, y_row, s, r, count);
+#endif
+    return classifyCountScalar(x_row, y_row, s, r, count);
+}
 
 /**
  * Row-pointer accesses the Kernel Indices Buffer controller needs to
@@ -50,13 +155,37 @@ appendWindowedCandidates(const CsrMatrix &kernel, std::int64_t row_lo,
     const auto lo = static_cast<std::uint32_t>(row_lo);
     const auto hi = static_cast<std::uint32_t>(row_hi);
 
-    const auto &row_ptr = kernel.rowPtr();
-    const auto &columns = kernel.columns();
-    const auto &values = kernel.values();
+    const auto row_ptr = kernel.rowPtr();
+    const auto columns = kernel.columns();
+    const auto values = kernel.values();
     for (std::uint32_t r = lo; r <= hi; ++r) {
         for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
             candidates.push_back({values[i], columns[i], r});
     }
+}
+
+/**
+ * SoA form of appendWindowedCandidates: the row window's values and
+ * columns are contiguous CSR segments, so each plane contributes two
+ * bulk copies plus a run-length row fill instead of per-entry pushes.
+ * Same stream order, entry for entry.
+ */
+void
+appendWindowedCandidatesSoA(const CsrMatrix &kernel, std::int64_t row_lo,
+                            std::int64_t row_hi, CandidateStream &out)
+{
+    if (row_lo > row_hi)
+        return;
+    const auto lo = static_cast<std::uint32_t>(row_lo);
+    const auto hi = static_cast<std::uint32_t>(row_hi);
+
+    const auto row_ptr = kernel.rowPtr();
+    const std::uint32_t begin = row_ptr[lo];
+    const std::uint32_t end = row_ptr[hi + 1];
+    out.value.append(kernel.values().data() + begin, end - begin);
+    out.s.append(kernel.columns().data() + begin, end - begin);
+    for (std::uint32_t r = lo; r <= hi; ++r)
+        out.r.appendFill(r, row_ptr[r + 1] - row_ptr[r]);
 }
 
 /** Total non-zeros across a kernel stack. */
@@ -164,7 +293,7 @@ AntPe::runConvStack(const ProblemSpec &spec,
     std::uint64_t index_elements_read = 0;
     std::uint64_t value_elements_read = 0;
     std::uint64_t groups = 0;
-    std::vector<Candidate> candidates;
+    CandidateStream candidates;
     // y is monotonic across image groups, so consecutive groups mostly
     // share one r window: memoize the last candidate stream instead of
     // re-walking the whole kernel stack per group. Counter-neutral --
@@ -172,8 +301,10 @@ AntPe::runConvStack(const ProblemSpec &spec,
     std::int64_t cached_lo = 0;
     std::int64_t cached_hi = 0;
     bool cache_filled = false;
-    std::vector<std::int64_t> window;
-    window.reserve(k);
+    // Selected (s, r) pairs of one window, compacted into lane arrays
+    // for the classify kernel; the FNIR selects at most n <= 64 ports.
+    alignas(32) std::uint32_t s_sel[64];
+    alignas(32) std::uint32_t r_sel[64];
 
     for (std::size_t ib = 0; ib < image_entries.size(); ib += n) {
         const std::size_t ie = std::min(ib + n, image_entries.size());
@@ -226,8 +357,8 @@ AntPe::runConvStack(const ProblemSpec &spec,
             cached_hi != r_range.hi) {
             candidates.clear();
             for (const CsrMatrix *kernel : kernels) {
-                appendWindowedCandidates(*kernel, r_range.lo, r_range.hi,
-                                         candidates);
+                appendWindowedCandidatesSoA(*kernel, r_range.lo,
+                                            r_range.hi, candidates);
             }
             cached_lo = r_range.lo;
             cached_hi = r_range.hi;
@@ -262,22 +393,23 @@ AntPe::runConvStack(const ProblemSpec &spec,
 
         std::uint64_t scan_cycles = 0;
 
-        // Stages 4-5: FNIR scan with the n+1-st-index feedback.
+        // Stages 4-5: FNIR scan with the n+1-st-index feedback. The
+        // window is a contiguous slice of the SoA s[] array, handed to
+        // the comparator bank without a per-entry copy.
         std::size_t pos = 0;
         while (pos < candidates.size()) {
             const std::size_t wend =
                 std::min(pos + k, candidates.size());
-            window.clear();
-            for (std::size_t i = pos; i < wend; ++i)
-                window.push_back(candidates[i].s);
+            const auto wlen = static_cast<std::uint32_t>(wend - pos);
 
             // The buffer delivers k column indices per cycle.
-            kernel_indices.read(static_cast<std::uint32_t>(window.size()),
-                                c);
-            index_elements_read += window.size();
+            kernel_indices.read(wlen, c);
+            index_elements_read += wlen;
 
-            const FnirResult fnir =
-                fnir_.evaluate(window, s_range.lo, s_range.hi, c);
+            const FnirResult fnir = fnir_.evaluate(
+                std::span<const std::uint32_t>(candidates.s.data() + pos,
+                                               wlen),
+                s_range.lo, s_range.hi, c);
 
             ++scan_cycles;
             const std::uint32_t selected = fnir.selectedCount();
@@ -297,30 +429,41 @@ AntPe::runConvStack(const ProblemSpec &spec,
                 value_elements_read += selected;
                 executed += static_cast<std::uint64_t>(selected) * igroup;
 
-                if (accumulator)
+                if (accumulator) {
                     accumulator->newIssueGroup();
-                for (std::uint32_t port = 0; port < selected; ++port) {
-                    const auto &cand =
-                        candidates[pos + fnir.ports[port].position];
-                    if (accumulator) {
+                    for (std::uint32_t port = 0; port < selected;
+                         ++port) {
+                        const std::size_t cand =
+                            pos + fnir.ports[port].position;
                         for (std::size_t i = ib; i < ie; ++i) {
                             const auto &img = image_entries[i];
                             accumulator->offer(img.value, img.x, img.y,
-                                               cand.value, cand.s, cand.r,
-                                               c);
+                                               candidates.value[cand],
+                                               candidates.s[cand],
+                                               candidates.r[cand], c);
                         }
-                    } else {
-                        // Lean counting loop: classify each issued
-                        // product without accumulator machinery.
-                        for (std::size_t i = ib; i < ie; ++i) {
-                            const auto &img = image_entries[i];
-                            if (valid_table->valid(img.x, img.y, cand.s,
-                                                   cand.r)) {
-                                ++valid;
-                            } else {
-                                ++residual;
-                            }
-                        }
+                    }
+                } else {
+                    // Lean counting loop: compact the selected (s, r)
+                    // pairs into lane arrays and classify each image
+                    // entry against all of them at once. Same verdict
+                    // per product as valid_table->valid in either
+                    // iteration order; the totals are order-free.
+                    for (std::uint32_t port = 0; port < selected;
+                         ++port) {
+                        const std::size_t cand =
+                            pos + fnir.ports[port].position;
+                        s_sel[port] = candidates.s[cand];
+                        r_sel[port] = candidates.r[cand];
+                    }
+                    for (std::size_t i = ib; i < ie; ++i) {
+                        const auto &img = image_entries[i];
+                        const std::uint32_t ok = classifyCount(
+                            valid_table->xOkRow(img.x),
+                            valid_table->yOkRow(img.y), s_sel, r_sel,
+                            selected);
+                        valid += ok;
+                        residual += selected - ok;
                     }
                 }
             }

@@ -27,6 +27,7 @@
 #define ANTSIM_ANT_FNIR_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/counters.hh"
@@ -91,6 +92,18 @@ class Fnir
                         CounterSet &counters) const;
 
     /**
+     * Evaluate one window of uint32 candidate indices straight from a
+     * CSR columns array (the ANT PE's SoA candidate stream). Identical
+     * verdicts and counter charges to the int64 overload with each
+     * index zero-extended; the partner-matching comparator bank is
+     * where the AVX2 dispatch lives (8 lanes per vector vs 4 for the
+     * int64 form).
+     */
+    FnirResult evaluate(std::span<const std::uint32_t> s_indices,
+                        std::int64_t min, std::int64_t max,
+                        CounterSet &counters) const;
+
+    /**
      * The arbiter-select primitive: grant the lowest set bit of
      * @p request; returns the granted position via @p position /
      * @p valid and the request vector with that bit cleared.
@@ -100,6 +113,9 @@ class Fnir
                                        std::uint32_t &position, bool &valid);
 
   private:
+    /** Run the n+1 serial arbiter stages over a request mask. */
+    FnirResult selectFromMask(std::uint64_t mask) const;
+
     std::uint32_t n_;
     std::uint32_t k_;
 };

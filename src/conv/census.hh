@@ -106,6 +106,28 @@ class ValidTable
             yOk_[static_cast<std::size_t>(y) * kernelH_ + r];
     }
 
+    /** True for matmul specs (valid() degenerates to r == x). */
+    bool matmul() const { return matmul_; }
+
+    /**
+     * Row of x-axis verdicts for image column @p x, indexed by s in
+     * [0, kernelW). The row carries at least 3 readable slack bytes
+     * past its logical end so 4-byte-granularity SIMD gathers at any
+     * valid s stay in bounds.
+     */
+    const std::uint8_t *
+    xOkRow(std::uint32_t x) const
+    {
+        return xOk_.data() + static_cast<std::size_t>(x) * kernelW_;
+    }
+
+    /** Row of y-axis verdicts for image row @p y, indexed by r. */
+    const std::uint8_t *
+    yOkRow(std::uint32_t y) const
+    {
+        return yOk_.data() + static_cast<std::size_t>(y) * kernelH_;
+    }
+
   private:
     bool matmul_ = false;
     std::uint32_t kernelW_ = 0;
@@ -115,6 +137,29 @@ class ValidTable
     /** yOk_[y*R + r]: the y-axis conditions hold for (y, r). */
     std::vector<std::uint8_t> yOk_;
 };
+
+namespace census_kernels {
+
+/**
+ * The census engine's two SIMD-dispatched hot loops, exposed at kernel
+ * granularity for the micro-benchmark perf gate (bench/micro_census +
+ * scripts/check_perf.py "micro_speedups") and for equivalence tests.
+ * Production code reaches them through CensusContext; these wrappers
+ * add nothing but a name with external linkage.
+ */
+
+/**
+ * One summed-area-table integration step: row[u] += row-prefix plus
+ * prev[u] for u in [0, n). @p row and @p prev may not alias.
+ */
+void satIntegrateRow(std::uint32_t *row, const std::uint32_t *prev,
+                     std::size_t n);
+
+/** Sum table[idx[i]] for i in [0, n) (u64 wrap-around, exact). */
+std::uint64_t gatherSum(const std::uint64_t *table,
+                        const std::uint32_t *idx, std::size_t n);
+
+} // namespace census_kernels
 
 namespace census_stats {
 

@@ -6,8 +6,15 @@
 #include "conv/outer_product.hh"
 #include "obs/trace.hh"
 #include "sim/accumulator.hh"
+#include "util/arena.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "verify/audit_hooks.hh"
+
+#if defined(__x86_64__)
+#define ANTSIM_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace antsim {
 
@@ -36,58 +43,84 @@ stackNnz(const std::vector<const CsrMatrix *> &kernels)
 }
 
 /**
- * Forward cursor over the merged kernel stream of a stack, yielding
- * entries in the same order as concatenating each plane's entries()
- * but without materializing the merged vector.
+ * Expand a CSR row-pointer array into one row index per stored entry:
+ * out[i] = row of entry i. Scalar ground truth for the AVX2 run-fill
+ * kernel below.
  */
-class StackStream
+void
+expandRowsScalar(const std::uint32_t *row_ptr, std::uint32_t rows,
+                 std::uint32_t *out)
 {
-  public:
-    explicit StackStream(const std::vector<const CsrMatrix *> &kernels)
-        : kernels_(kernels)
-    {
-        rewind();
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            out[i] = r;
     }
+}
 
-    void
-    rewind()
-    {
-        plane_ = 0;
-        pos_ = 0;
-        row_ = 0;
-        skipEmptyPlanes();
-    }
+#ifdef ANTSIM_X86_SIMD
 
-    bool done() const { return plane_ == kernels_.size(); }
-
-    SparseEntry
-    next()
-    {
-        const CsrMatrix &k = *kernels_[plane_];
-        while (pos_ >= k.rowPtr()[row_ + 1])
-            ++row_;
-        const SparseEntry e{k.values()[pos_], k.columns()[pos_], row_};
-        if (++pos_ == k.nnz()) {
-            ++plane_;
-            pos_ = 0;
-            row_ = 0;
-            skipEmptyPlanes();
+__attribute__((target("avx2"))) void
+expandRowsAvx2(const std::uint32_t *row_ptr, std::uint32_t rows,
+               std::uint32_t *out)
+{
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        const std::uint32_t begin = row_ptr[r];
+        const std::uint32_t end = row_ptr[r + 1];
+        const __m256i v = _mm256_set1_epi32(static_cast<int>(r));
+        // Full-vector stores; the overshoot past `end` is overwritten
+        // by the next row or lands in the stream buffer's tail slack.
+        for (std::uint32_t i = begin; i < end; i += 8) {
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), v);
         }
-        return e;
     }
+}
 
-  private:
-    void
-    skipEmptyPlanes()
+#endif // ANTSIM_X86_SIMD
+
+void
+expandRows(const std::uint32_t *row_ptr, std::uint32_t rows,
+           std::uint32_t *out)
+{
+#ifdef ANTSIM_X86_SIMD
+    if (simd::avx2Enabled()) {
+        expandRowsAvx2(row_ptr, rows, out);
+        return;
+    }
+#endif
+    expandRowsScalar(row_ptr, rows, out);
+}
+
+/**
+ * The merged kernel stream of a stack in structure-of-arrays form:
+ * entry order identical to concatenating each plane's entries(), but
+ * built with two bulk copies plus one row expansion per plane instead
+ * of a per-entry cursor walk -- the image-stationary dataflow re-reads
+ * this stream once per image group, so it is built exactly once.
+ */
+struct MergedStack
+{
+    AlignedVec<float> value;
+    AlignedVec<std::uint32_t> x;
+    AlignedVec<std::uint32_t> y;
+
+    explicit MergedStack(const std::vector<const CsrMatrix *> &kernels)
     {
-        while (plane_ < kernels_.size() && kernels_[plane_]->nnz() == 0)
-            ++plane_;
+        const std::uint64_t total = stackNnz(kernels);
+        // +8 elements of tail slack for the row-expansion kernel's
+        // full-vector stores.
+        value.reserve(total + 8);
+        x.reserve(total + 8);
+        y.reserve(total + 8);
+        for (const CsrMatrix *k : kernels) {
+            value.append(k->values().data(), k->nnz());
+            x.append(k->columns().data(), k->nnz());
+            const std::size_t base = y.size();
+            y.resize(base + k->nnz());
+            expandRows(k->rowPtr().data(), k->height(), y.data() + base);
+        }
     }
 
-    const std::vector<const CsrMatrix *> &kernels_;
-    std::size_t plane_ = 0;
-    std::uint32_t pos_ = 0;
-    std::uint32_t row_ = 0;
+    std::size_t size() const { return value.size(); }
 };
 
 } // namespace
@@ -143,10 +176,10 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
 
     const std::uint32_t n = config_.n;
     const auto image_entries = image.entries();
-    // The merged kernel stream is walked in place; groups may span
-    // plane boundaries, so buffer one n-entry group at a time.
-    StackStream kernel_stream(kernels);
-    std::vector<SparseEntry> kernel_group(n);
+    // The merged kernel stream is materialized once in SoA form;
+    // groups may span plane boundaries, which flat iteration handles
+    // for free.
+    const MergedStack kernel_stream(kernels);
 
     std::uint64_t cycles = config_.startupCycles;
     c.add(Counter::StartupCycles, config_.startupCycles);
@@ -163,11 +196,10 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
 
         // The kernel stream is re-fetched for every image group
         // (image-stationary dataflow).
-        kernel_stream.rewind();
-        while (!kernel_stream.done()) {
-            std::uint32_t kgroup = 0;
-            while (kgroup < n && !kernel_stream.done())
-                kernel_group[kgroup++] = kernel_stream.next();
+        for (std::size_t kb = 0; kb < kernel_stream.size(); kb += n) {
+            const std::size_t ke = std::min<std::size_t>(
+                kb + n, kernel_stream.size());
+            const auto kgroup = static_cast<std::uint32_t>(ke - kb);
 
             kernel_values.read(kgroup, c);
             kernel_indices.read(kgroup, c);
@@ -182,10 +214,11 @@ ScnnPe::runStackFunctional(const ProblemSpec &spec,
             accumulator.newIssueGroup();
             for (std::size_t i = ib; i < ie; ++i) {
                 const auto &img = image_entries[i];
-                for (std::uint32_t k = 0; k < kgroup; ++k) {
-                    const auto &ker = kernel_group[k];
-                    accumulator.offer(img.value, img.x, img.y, ker.value,
-                                      ker.x, ker.y, c);
+                for (std::size_t k = kb; k < ke; ++k) {
+                    accumulator.offer(img.value, img.x, img.y,
+                                      kernel_stream.value[k],
+                                      kernel_stream.x[k],
+                                      kernel_stream.y[k], c);
                 }
             }
         }

@@ -13,15 +13,24 @@
  * The accelerator models stream these arrays exactly as the hardware's
  * Image/Kernel Values and Indices Buffers would, so iteration order
  * here *is* the hardware's element order.
+ *
+ * Storage layout: the three arrays are a structure-of-arrays carved
+ * out of one 64-byte-aligned Arena slab (util/arena.hh), sized exactly
+ * from the nnz counted before filling. Accessors hand out read-only
+ * spans; the SIMD construction kernels (docs/MODEL.md Sec. 11) rely on
+ * the alignment, and the exact pre-sizing removes the push_back
+ * reallocation churn of the old vector-backed layout.
  */
 
 #ifndef ANTSIM_TENSOR_CSR_HH
 #define ANTSIM_TENSOR_CSR_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hh"
+#include "util/arena.hh"
 
 namespace antsim {
 
@@ -34,9 +43,18 @@ struct SparseEntry
 };
 
 /**
+ * Narrow a size_t non-zero count to the uint32 the CSR arrays store.
+ * Panics instead of silently truncating: nnz >= 2^32 would corrupt
+ * every row pointer downstream. Every narrowing site in the builders
+ * goes through here.
+ */
+std::uint32_t narrowNnz(std::size_t nnz);
+
+/**
  * Compressed Sparse Row matrix of float values.
  *
- * Invariants (checked by validate()):
+ * Invariants (checked by validate(); every construction path validates
+ * when the ANTSIM_AUDIT runtime switch is on, fromRaw unconditionally):
  *  - rowPtr has height()+1 entries, rowPtr[0] == 0, non-decreasing;
  *  - columns within each row are strictly increasing and < width();
  *  - values.size() == columns.size() == rowPtr.back().
@@ -51,7 +69,7 @@ class CsrMatrix
     static CsrMatrix fromDense(const Dense2d<float> &dense);
 
     /**
-     * Build directly from raw arrays (takes ownership).
+     * Build directly from raw arrays.
      * Panics if the arrays violate the CSR invariants.
      */
     static CsrMatrix fromRaw(std::uint32_t height, std::uint32_t width,
@@ -74,22 +92,32 @@ class CsrMatrix
     std::uint32_t width() const { return width_; }
 
     /** Number of stored non-zeros. */
-    std::uint32_t nnz() const
-    {
-        return static_cast<std::uint32_t>(values_.size());
-    }
+    std::uint32_t nnz() const { return nnz_; }
 
     /** Fraction of elements that are zero (1.0 for an empty shape). */
     double sparsity() const;
 
     /** Values array (non-zeros in row-major order). */
-    const std::vector<float> &values() const { return values_; }
+    std::span<const float>
+    values() const
+    {
+        return {arena_.ptr<float>(valuesOff_), nnz_};
+    }
 
     /** Columns array (column index per stored value). */
-    const std::vector<std::uint32_t> &columns() const { return columns_; }
+    std::span<const std::uint32_t>
+    columns() const
+    {
+        return {arena_.ptr<std::uint32_t>(columnsOff_), nnz_};
+    }
 
     /** Row-pointers array (height()+1 entries). */
-    const std::vector<std::uint32_t> &rowPtr() const { return rowPtr_; }
+    std::span<const std::uint32_t>
+    rowPtr() const
+    {
+        return {arena_.ptr<std::uint32_t>(rowPtrOff_),
+                static_cast<std::size_t>(height_) + 1};
+    }
 
     /** Row index of the stored element at flat position @p pos. */
     std::uint32_t rowOfPosition(std::uint32_t pos) const;
@@ -120,17 +148,40 @@ class CsrMatrix
     bool operator==(const CsrMatrix &o) const;
 
   private:
+    /**
+     * Size the arena for exactly @p nnz stored entries (guarding the
+     * uint32 narrowing) plus the row-pointer array, and carve the
+     * three SoA blocks. Row pointers start zeroed.
+     */
+    void allocateStorage(std::size_t nnz);
+
+    /** Validate when the ANTSIM_AUDIT runtime switch is on. */
+    void maybeValidate() const;
+
+    float *valuesData() { return arena_.ptr<float>(valuesOff_); }
+    std::uint32_t *columnsData()
+    {
+        return arena_.ptr<std::uint32_t>(columnsOff_);
+    }
+    std::uint32_t *rowPtrData()
+    {
+        return arena_.ptr<std::uint32_t>(rowPtrOff_);
+    }
+
     std::uint32_t height_;
     std::uint32_t width_;
-    std::vector<float> values_;
-    std::vector<std::uint32_t> columns_;
-    std::vector<std::uint32_t> rowPtr_;
+    std::uint32_t nnz_ = 0;
+    std::size_t valuesOff_ = 0;
+    std::size_t columnsOff_ = 0;
+    std::size_t rowPtrOff_ = 0;
+    Arena arena_;
 };
 
 /**
  * Compressed Sparse Column view: the CSR of the transposed matrix,
  * re-labelled. rows() plays the role of the Columns array (it stores
- * row indices) and colPtr() the role of Row-pointers.
+ * row indices) and colPtr() the role of Row-pointers. Same SoA arena
+ * layout as CsrMatrix.
  */
 class CscMatrix
 {
@@ -148,19 +199,29 @@ class CscMatrix
     std::uint32_t width() const { return width_; }
 
     /** Number of stored non-zeros. */
-    std::uint32_t nnz() const
-    {
-        return static_cast<std::uint32_t>(values_.size());
-    }
+    std::uint32_t nnz() const { return nnz_; }
 
     /** Values in column-major order. */
-    const std::vector<float> &values() const { return values_; }
+    std::span<const float>
+    values() const
+    {
+        return {arena_.ptr<float>(valuesOff_), nnz_};
+    }
 
     /** Row index of each stored value. */
-    const std::vector<std::uint32_t> &rows() const { return rows_; }
+    std::span<const std::uint32_t>
+    rows() const
+    {
+        return {arena_.ptr<std::uint32_t>(rowsOff_), nnz_};
+    }
 
     /** Column-pointer array (width()+1 entries). */
-    const std::vector<std::uint32_t> &colPtr() const { return colPtr_; }
+    std::span<const std::uint32_t>
+    colPtr() const
+    {
+        return {arena_.ptr<std::uint32_t>(colPtrOff_),
+                static_cast<std::size_t>(width_) + 1};
+    }
 
     /** Column index of the stored element at flat position @p pos. */
     std::uint32_t colOfPosition(std::uint32_t pos) const;
@@ -173,14 +234,26 @@ class CscMatrix
 
   private:
     CscMatrix(std::uint32_t height, std::uint32_t width)
-        : height_(height), width_(width), colPtr_(width + 1, 0)
+        : height_(height), width_(width)
     {}
+
+    /** Arena sizing, as CsrMatrix::allocateStorage. */
+    void allocateStorage(std::size_t nnz);
+
+    float *valuesData() { return arena_.ptr<float>(valuesOff_); }
+    std::uint32_t *rowsData() { return arena_.ptr<std::uint32_t>(rowsOff_); }
+    std::uint32_t *colPtrData()
+    {
+        return arena_.ptr<std::uint32_t>(colPtrOff_);
+    }
 
     std::uint32_t height_;
     std::uint32_t width_;
-    std::vector<float> values_;
-    std::vector<std::uint32_t> rows_;
-    std::vector<std::uint32_t> colPtr_;
+    std::uint32_t nnz_ = 0;
+    std::size_t valuesOff_ = 0;
+    std::size_t rowsOff_ = 0;
+    std::size_t colPtrOff_ = 0;
+    Arena arena_;
 };
 
 } // namespace antsim

@@ -1,0 +1,107 @@
+#include "simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace antsim {
+namespace simd {
+
+namespace {
+
+bool
+detectAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+Mode
+initialMode()
+{
+    const char *env = std::getenv("ANTSIM_SIMD");
+    if (env == nullptr || env[0] == '\0')
+        return Mode::Auto;
+    Mode parsed;
+    if (!parseMode(env, parsed))
+        ANT_FATAL("ANTSIM_SIMD must be auto, scalar, or avx2; got '", env,
+                  "'");
+    if (parsed == Mode::Avx2 && !detectAvx2())
+        ANT_FATAL("ANTSIM_SIMD=avx2 but this CPU does not support AVX2");
+    return parsed;
+}
+
+std::atomic<Mode> g_mode{initialMode()};
+/** Resolved per-mode answer; kept in lockstep with g_mode. */
+std::atomic<bool> g_avx2{initialMode() == Mode::Scalar ? false
+                                                       : detectAvx2()};
+
+} // namespace
+
+Mode
+mode()
+{
+    return g_mode.load(std::memory_order_relaxed);
+}
+
+void
+setMode(Mode mode)
+{
+    if (mode == Mode::Avx2 && !detectAvx2())
+        ANT_FATAL("--simd=avx2 requested but this CPU does not support "
+                  "AVX2; use auto or scalar");
+    g_mode.store(mode, std::memory_order_relaxed);
+    g_avx2.store(mode != Mode::Scalar && detectAvx2(),
+                 std::memory_order_relaxed);
+}
+
+bool
+avx2Enabled()
+{
+    return g_avx2.load(std::memory_order_relaxed);
+}
+
+bool
+cpuHasAvx2()
+{
+    return detectAvx2();
+}
+
+bool
+parseMode(const std::string &text, Mode &out)
+{
+    if (text == "auto") {
+        out = Mode::Auto;
+        return true;
+    }
+    if (text == "scalar") {
+        out = Mode::Scalar;
+        return true;
+    }
+    if (text == "avx2") {
+        out = Mode::Avx2;
+        return true;
+    }
+    return false;
+}
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::Auto:
+        return "auto";
+    case Mode::Scalar:
+        return "scalar";
+    case Mode::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+} // namespace simd
+} // namespace antsim

@@ -177,9 +177,9 @@ InvariantAuditor::auditCounters(const CounterSet &counters,
 
 AuditReport
 InvariantAuditor::auditCsrArrays(std::uint32_t height, std::uint32_t width,
-                                 const std::vector<float> &values,
-                                 const std::vector<std::uint32_t> &columns,
-                                 const std::vector<std::uint32_t> &row_ptr)
+                                 std::span<const float> values,
+                                 std::span<const std::uint32_t> columns,
+                                 std::span<const std::uint32_t> row_ptr)
     const
 {
     AuditReport report;

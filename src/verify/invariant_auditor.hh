@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -125,9 +126,9 @@ class InvariantAuditor
      * construct).
      */
     AuditReport auditCsrArrays(std::uint32_t height, std::uint32_t width,
-                               const std::vector<float> &values,
-                               const std::vector<std::uint32_t> &columns,
-                               const std::vector<std::uint32_t> &row_ptr)
+                               std::span<const float> values,
+                               std::span<const std::uint32_t> columns,
+                               std::span<const std::uint32_t> row_ptr)
         const;
 
     /** Audit an output plane: shape matches the spec, values finite. */

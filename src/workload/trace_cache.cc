@@ -14,10 +14,93 @@
 #include "obs/trace.hh"
 #include "util/bfloat16.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
+
+#if defined(__x86_64__)
+#define ANTSIM_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace antsim {
 
 namespace {
+
+/** dst[i] = |src[i]| (sign-bit clear, bit-identical to std::fabs). */
+void
+absArrayScalar(const float *src, float *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = std::fabs(src[i]);
+}
+
+/** Count of data[i] strictly greater than @p threshold. */
+std::size_t
+countGreaterScalar(const float *data, std::size_t n, float threshold)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        count += data[i] > threshold ? 1 : 0;
+    return count;
+}
+
+#ifdef ANTSIM_X86_SIMD
+
+__attribute__((target("avx2"))) void
+absArrayAvx2(const float *src, float *dst, std::size_t n)
+{
+    const __m256 mask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        _mm256_storeu_ps(dst + i,
+                         _mm256_and_ps(_mm256_loadu_ps(src + i), mask));
+    }
+    for (; i < n; ++i)
+        dst[i] = std::fabs(src[i]);
+}
+
+__attribute__((target("avx2"))) std::size_t
+countGreaterAvx2(const float *data, std::size_t n, float threshold)
+{
+    const __m256 t = _mm256_set1_ps(threshold);
+    std::size_t count = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // GT_OQ matches the scalar ordered > (the generated magnitudes
+        // are never NaN either way).
+        const int mask = _mm256_movemask_ps(
+            _mm256_cmp_ps(_mm256_loadu_ps(data + i), t, _CMP_GT_OQ));
+        count += static_cast<unsigned>(__builtin_popcount(
+            static_cast<unsigned>(mask)));
+    }
+    for (; i < n; ++i)
+        count += data[i] > threshold ? 1 : 0;
+    return count;
+}
+
+#endif // ANTSIM_X86_SIMD
+
+void
+absArray(const float *src, float *dst, std::size_t n)
+{
+#ifdef ANTSIM_X86_SIMD
+    if (simd::avx2Enabled()) {
+        absArrayAvx2(src, dst, n);
+        return;
+    }
+#endif
+    absArrayScalar(src, dst, n);
+}
+
+std::size_t
+countGreater(const float *data, std::size_t n, float threshold)
+{
+#ifdef ANTSIM_X86_SIMD
+    if (simd::avx2Enabled())
+        return countGreaterAvx2(data, n, threshold);
+#endif
+    return countGreaterScalar(data, n, threshold);
+}
 
 std::atomic<std::uint64_t> g_hits{0};
 std::atomic<std::uint64_t> g_misses{0};
@@ -206,8 +289,7 @@ generateCsrPlane(const PlaneRecipe &recipe, Rng &rng)
         std::size_t tie_budget = total;
         if (keep < total && keep > 0) {
             mags.resize(total);
-            for (std::size_t i = 0; i < total; ++i)
-                mags[i] = std::fabs(data[i]);
+            absArray(data.data(), mags.data(), total);
             std::nth_element(mags.begin(),
                              mags.begin() +
                                  static_cast<std::ptrdiff_t>(keep - 1),
@@ -216,9 +298,8 @@ generateCsrPlane(const PlaneRecipe &recipe, Rng &rng)
             // The partition puts every magnitude above the threshold
             // into the first `keep` slots, so counting strict winners
             // only needs that prefix.
-            std::size_t above = 0;
-            for (std::size_t i = 0; i < keep; ++i)
-                above += mags[i] > threshold ? 1 : 0;
+            const std::size_t above =
+                countGreater(mags.data(), keep, threshold);
             tie_budget = keep - above;
         }
         values.reserve(keep);

@@ -6,12 +6,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "tensor/csr.hh"
 #include "tensor/sparsify.hh"
+#include "util/audit.hh"
 #include "util/rng.hh"
 
 namespace antsim {
 namespace {
+
+/** Materialize a read-only span accessor as a vector for EXPECT_EQ. */
+template <typename T>
+std::vector<T>
+vec(std::span<const T> s)
+{
+    return {s.begin(), s.end()};
+}
 
 Dense2d<float>
 samplePlane()
@@ -40,11 +52,11 @@ TEST(Csr, ArraysMatchSection41Layout)
     const CsrMatrix csr = CsrMatrix::fromDense(samplePlane());
     // Values in row-major order.
     const std::vector<float> want_values = {2.0f, -1.0f, 5.0f, 7.0f, 4.0f};
-    EXPECT_EQ(csr.values(), want_values);
+    EXPECT_EQ(vec(csr.values()), want_values);
     const std::vector<std::uint32_t> want_cols = {1, 3, 0, 2, 3};
-    EXPECT_EQ(csr.columns(), want_cols);
+    EXPECT_EQ(vec(csr.columns()), want_cols);
     const std::vector<std::uint32_t> want_rowptr = {0, 2, 3, 5};
-    EXPECT_EQ(csr.rowPtr(), want_rowptr);
+    EXPECT_EQ(vec(csr.rowPtr()), want_rowptr);
 }
 
 TEST(Csr, EmptyMatrix)
@@ -124,6 +136,30 @@ TEST(CsrDeathTest, FromRawRejectsWideColumn)
                  "out of width");
 }
 
+TEST(CsrDeathTest, NnzNarrowingOverflowPanics)
+{
+    // 2^32 stored entries would wrap the uint32 index arrays; the
+    // narrowing guard must panic instead of silently truncating.
+    EXPECT_DEATH(narrowNnz(std::size_t{1} << 32), "overflow");
+    EXPECT_EQ(narrowNnz((std::size_t{1} << 32) - 1), 0xffffffffu);
+}
+
+TEST(CsrDeathTest, CooEntryOutsidePlanePanics)
+{
+    // A COO entry with coordinates outside the plane must be caught at
+    // build time, not when a PE later walks off the index arrays.
+    std::vector<SparseEntry> bad = {{1.0f, 7, 0}}; // x=7 in a 3-wide plane
+    EXPECT_DEATH(CsrMatrix::fromCoo(3, 3, bad), "outside");
+}
+
+TEST(Csr, AuditForcedOnValidatesEveryConstructor)
+{
+    // audit_env.cc forces ANTSIM_AUDIT on in test binaries, so every
+    // construction path in this whole suite (not just fromRaw) runs
+    // validate() -- this assertion is what makes that coverage real.
+    ASSERT_TRUE(audit::enabled());
+}
+
 TEST(Csr, Rotation180MatchesAlgorithm3OnDense)
 {
     const Dense2d<float> d = samplePlane();
@@ -149,8 +185,8 @@ TEST(Csr, RotationPreservesValueMultiset)
     Rng rng(7);
     const CsrMatrix csr =
         CsrMatrix::fromDense(bernoulliPlane(6, 6, 0.5, rng));
-    auto a = csr.values();
-    auto b = csr.rotated180().values();
+    auto a = vec(csr.values());
+    auto b = vec(csr.rotated180().values());
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     EXPECT_EQ(a, b);
@@ -183,9 +219,9 @@ TEST(Csc, FromCsrEquivalent)
     const Dense2d<float> d = bernoulliPlane(8, 9, 0.7, rng);
     const CscMatrix a = CscMatrix::fromDense(d);
     const CscMatrix b = CscMatrix::fromCsr(CsrMatrix::fromDense(d));
-    EXPECT_EQ(a.values(), b.values());
-    EXPECT_EQ(a.rows(), b.rows());
-    EXPECT_EQ(a.colPtr(), b.colPtr());
+    EXPECT_EQ(vec(a.values()), vec(b.values()));
+    EXPECT_EQ(vec(a.rows()), vec(b.rows()));
+    EXPECT_EQ(vec(a.colPtr()), vec(b.colPtr()));
 }
 
 TEST(Csc, EntriesAreColumnMajor)

@@ -146,7 +146,8 @@ TEST(InvariantAuditor, MalformedCsrDecreasingRowPtr)
 {
     const InvariantAuditor auditor;
     const AuditReport report = auditor.auditCsrArrays(
-        /*height=*/2, /*width=*/4, {1.0f, 2.0f}, {0, 1}, {0, 2, 1});
+        /*height=*/2, /*width=*/4, std::vector<float>{1.0f, 2.0f},
+        std::vector<std::uint32_t>{0, 1}, std::vector<std::uint32_t>{0, 2, 1});
     EXPECT_TRUE(flags(report, "csr-row-ptr")) << report.toString();
 }
 
@@ -154,7 +155,8 @@ TEST(InvariantAuditor, MalformedCsrUnsortedColumns)
 {
     const InvariantAuditor auditor;
     const AuditReport report = auditor.auditCsrArrays(
-        /*height=*/1, /*width=*/4, {1.0f, 2.0f}, {2, 1}, {0, 2});
+        /*height=*/1, /*width=*/4, std::vector<float>{1.0f, 2.0f},
+        std::vector<std::uint32_t>{2, 1}, std::vector<std::uint32_t>{0, 2});
     EXPECT_TRUE(flags(report, "csr-columns")) << report.toString();
 }
 
@@ -162,7 +164,8 @@ TEST(InvariantAuditor, MalformedCsrColumnOutOfRange)
 {
     const InvariantAuditor auditor;
     const AuditReport report = auditor.auditCsrArrays(
-        /*height=*/1, /*width=*/2, {1.0f}, {5}, {0, 1});
+        /*height=*/1, /*width=*/2, std::vector<float>{1.0f},
+        std::vector<std::uint32_t>{5}, std::vector<std::uint32_t>{0, 1});
     EXPECT_TRUE(flags(report, "csr-columns")) << report.toString();
 }
 
@@ -170,7 +173,8 @@ TEST(InvariantAuditor, MalformedCsrNnzMismatch)
 {
     const InvariantAuditor auditor;
     const AuditReport report = auditor.auditCsrArrays(
-        /*height=*/1, /*width=*/4, {1.0f, 2.0f}, {0, 1}, {0, 1});
+        /*height=*/1, /*width=*/4, std::vector<float>{1.0f, 2.0f},
+        std::vector<std::uint32_t>{0, 1}, std::vector<std::uint32_t>{0, 1});
     EXPECT_TRUE(flags(report, "csr-nnz")) << report.toString();
 }
 

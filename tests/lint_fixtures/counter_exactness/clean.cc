@@ -28,3 +28,18 @@ energyEstimate(std::uint64_t cycles)
     // direction breaks the conservation laws.
     return static_cast<double>(cycles) * 0.35;
 }
+
+// Integer-lane SIMD intrinsics (_epi32 and friends) are not float
+// domain; a tally built from them flows into counters freely.
+struct __m256i {};
+int _mm256_movemask_epi8(__m256i);
+__m256i _mm256_loadu_si256(const void *);
+
+void
+integerIntrinsicTally(CounterSet &c, const void *lanes)
+{
+    std::uint64_t hits = 0;
+    hits += static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_loadu_si256(lanes)));
+    c.add(Counter::MultsExecuted, hits);
+}

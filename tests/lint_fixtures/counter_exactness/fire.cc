@@ -34,3 +34,25 @@ taintedIntermediate(CounterSet &c, double efficiency)
         static_cast<std::uint64_t>(std::ceil(100.0 / efficiency));
     c.add(Counter::Cycles, cycles);
 }
+
+// Fake SIMD surface; the linter is lexical, so prototypes suffice.
+struct __m256 {};
+int _mm256_movemask_ps(__m256);
+__m256 _mm256_loadu_ps(const float *);
+
+void
+directIntrinsic(CounterSet &c, const float *lanes)
+{
+    c.add(Counter::MultsExecuted,
+          static_cast<std::uint64_t>(
+              _mm256_movemask_ps(_mm256_loadu_ps(lanes))));
+}
+
+void
+intrinsicAccumulation(CounterSet &c, const float *lanes)
+{
+    std::uint64_t valid = 0;
+    valid += static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_loadu_ps(lanes)));
+    c.add(Counter::MultsExecuted, valid);
+}

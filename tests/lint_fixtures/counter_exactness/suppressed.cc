@@ -32,3 +32,21 @@ atTaintSource(CounterSet &c, double efficiency)
     c.set(Counter::Cycles, cycles);
     c.add(Counter::MultsExecuted, cycles * 16);
 }
+
+// Sanctioned intrinsic kernel: the movemask-over-bit-cast idiom is
+// exact integer arithmetic despite the _ps suffix; the suppression on
+// the accumulation whitelists the tally for every counter below.
+struct __m256 {};
+int _mm256_movemask_ps(__m256);
+__m256 _mm256_loadu_ps(const float *);
+
+void
+sanctionedIntrinsicKernel(CounterSet &c, const float *lanes)
+{
+    std::uint64_t valid = 0;
+    // antsim-lint: allow(counter-exactness) -- movemask over 0/-1
+    // integer lanes bit-cast to float; the popcounted tally is exact.
+    valid += static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_loadu_ps(lanes)));
+    c.add(Counter::MultsExecuted, valid);
+}

@@ -34,7 +34,7 @@ RULE_FIXTURES = {
     "parallel-capture-discipline": ("parallel_capture_discipline", 2),
     "no-pointer-keyed-order": ("no_pointer_keyed_order", 2),
     "clone-completeness": ("clone_completeness", 2),
-    "counter-exactness": ("counter_exactness", 3),
+    "counter-exactness": ("counter_exactness", 5),
 }
 
 
