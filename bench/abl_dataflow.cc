@@ -34,7 +34,7 @@ main(int argc, char **argv)
     for (double sparsity : {0.5, 0.9}) {
         const auto profile = SparsityProfile::swat(sparsity);
         const auto scnn_stats =
-            runConvNetwork(scnn, layers, profile, options.run);
+            bench::runConv(scnn, layers, profile, options);
 
         AntPeConfig img_cfg;
         AntPe img_pe(img_cfg);
@@ -43,9 +43,9 @@ main(int argc, char **argv)
         AntPe ker_pe(ker_cfg);
 
         const auto img_stats =
-            runConvNetwork(img_pe, layers, profile, options.run);
+            bench::runConv(img_pe, layers, profile, options);
         const auto ker_stats =
-            runConvNetwork(ker_pe, layers, profile, options.run);
+            bench::runConv(ker_pe, layers, profile, options);
         char label[16];
         std::snprintf(label, sizeof(label), "%.0f%%", sparsity * 100);
         table.addRow({label,

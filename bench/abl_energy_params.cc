@@ -35,9 +35,9 @@ main(int argc, char **argv)
     AntPe ant;
     // Counters are independent of the energy table: run once.
     const auto scnn_stats =
-        runConvNetwork(scnn, layers, profile, options.run);
+        bench::runConv(scnn, layers, profile, options);
     const auto ant_stats =
-        runConvNetwork(ant, layers, profile, options.run);
+        bench::runConv(ant, layers, profile, options);
 
     Table table({"SRAM read (pJ)", "index op (pJ)", "SCNN+ energy (uJ)",
                  "ANT energy (uJ)", "Energy reduction"});

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "estimate/estimate.hh"
 #include "obs/trace.hh"
 #include "sim/energy.hh"
 #include "sim/pe_model.hh"
@@ -53,7 +54,7 @@ parseOptions(int argc, const char *const *argv,
                                       "csv",         "chunk",     "audit",
                                       "threads",     "json",      "networks",
                                       "trace-cache", "trace-out", "log-level",
-                                      "simd"};
+                                      "simd",        "estimate"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     // Environment first, flags after: --log-level wins over
     // ANTSIM_LOG_LEVEL, --trace-out wins over ANTSIM_TRACE.
@@ -119,6 +120,14 @@ parseOptions(int argc, const char *const *argv,
                       text, "'");
         simd::setMode(mode);
     }
+    // --estimate wins over ANTSIM_ESTIMATE (same precedence as every
+    // other env-backed flag). Any non-empty env value enables it.
+    if (g_cli->has("estimate")) {
+        options.estimate = g_cli->getBool("estimate");
+    } else if (const char *env = std::getenv("ANTSIM_ESTIMATE");
+               env != nullptr && env[0] != '\0') {
+        options.estimate = true;
+    }
     // --trace-cache=false turns the plane cache off (A/B timing runs);
     // the default is the ANTSIM_TRACE_CACHE environment setting.
     trace_cache::setEnabled(
@@ -135,6 +144,7 @@ parseOptions(int argc, const char *const *argv,
     metadata.chunk = options.run.chunkCapacity;
     metadata.audit = audit::enabled();
     metadata.energyTableVersion = kEnergyTableVersion;
+    metadata.mode = options.estimate ? "estimated" : "simulated";
     g_report.setMetadata(std::move(metadata));
     return options;
 }
@@ -178,10 +188,70 @@ runNetwork(PeModel &pe, const NamedNetwork &network, double target_sparsity,
     return runConvNetwork(pe, network.layers, profile, labeled);
 }
 
+namespace {
+
+/** Describe @p pe for estimation; fatal when no analytical model. */
+estimate::PeDescriptor
+describeOrDie(const PeModel &pe)
+{
+    const std::optional<estimate::PeDescriptor> desc =
+        estimate::describePe(pe);
+    if (!desc)
+        ANT_FATAL("--estimate: no analytical model for PE '", pe.name(),
+                  "'; run without --estimate");
+    return *desc;
+}
+
+} // namespace
+
+NetworkStats
+runNetwork(PeModel &pe, const NamedNetwork &network, double target_sparsity,
+           const BenchOptions &options)
+{
+    if (!options.estimate)
+        return runNetwork(pe, network, target_sparsity, options.run);
+    const SparsityProfile profile = network.syntheticTopK
+        ? SparsityProfile::topK(target_sparsity)
+        : SparsityProfile::swat(target_sparsity);
+    return estimate::estimateConvNetwork(describeOrDie(pe), network.layers,
+                                         profile, options.run);
+}
+
+NetworkStats
+runConv(PeModel &pe, const std::vector<ConvLayer> &layers,
+        const SparsityProfile &profile, const BenchOptions &options)
+{
+    if (!options.estimate) {
+        RunConfig labeled = options.run;
+        labeled.runLabel = pe.name();
+        return runConvNetwork(pe, layers, profile, labeled);
+    }
+    return estimate::estimateConvNetwork(describeOrDie(pe), layers, profile,
+                                         options.run);
+}
+
+NetworkStats
+runMatmul(PeModel &pe, const std::vector<MatmulLayer> &layers,
+          double sparsity, SparsifyMethod method, const BenchOptions &options)
+{
+    if (!options.estimate)
+        return runMatmulNetwork(pe, layers, sparsity, method, options.run);
+    return estimate::estimateMatmulNetwork(describeOrDie(pe), layers,
+                                           sparsity, method, options.run);
+}
+
 RunReport &
 report()
 {
     return g_report;
+}
+
+void
+markEstimated()
+{
+    RunMetadata metadata = g_report.metadata();
+    metadata.mode = "estimated";
+    g_report.setMetadata(std::move(metadata));
 }
 
 void

@@ -20,6 +20,13 @@
  *                 networks; an empty selection is a fatal error
  *   --audit       run the invariant audits (src/verify) on every
  *                 model execution; violations abort the bench
+ *   --estimate    replace cycle-level simulation with the analytical
+ *                 fast path (src/estimate) in every bench::runNetwork
+ *                 / runConv / runMatmul call; defaults on when the
+ *                 ANTSIM_ESTIMATE environment variable is non-empty.
+ *                 Reports carry metadata.mode = "estimated" so
+ *                 downstream tooling never mixes them into the
+ *                 simulated headline numbers
  *   --trace-out path  write the simulated-time Chrome trace (src/obs,
  *                 docs/OBSERVABILITY.md) to @p path; defaults to the
  *                 ANTSIM_TRACE environment variable when set
@@ -69,6 +76,15 @@ struct BenchOptions
      * A non-empty path enables tracing for the whole run.
      */
     std::string traceOutPath;
+    /**
+     * Use the analytical estimator instead of the cycle-level engine
+     * (--estimate, or the ANTSIM_ESTIMATE environment variable). Only
+     * honoured by call sites that go through the BenchOptions-taking
+     * run helpers below; benches that measure the engine itself (e.g.
+     * abl_threads' scaling curve) call the simulator directly and say
+     * so at the call site.
+     */
+    bool estimate = false;
 };
 
 /**
@@ -93,8 +109,40 @@ void emitTable(const Table &table, const BenchOptions &options);
 NetworkStats runNetwork(PeModel &pe, const NamedNetwork &network,
                         double target_sparsity, const RunConfig &config);
 
+/**
+ * Estimate-aware counterpart: cycle-level simulation by default, the
+ * analytical fast path under --estimate. Fatal when --estimate is set
+ * and no analytical model exists for @p pe's dynamic type.
+ */
+NetworkStats runNetwork(PeModel &pe, const NamedNetwork &network,
+                        double target_sparsity,
+                        const BenchOptions &options);
+
+/**
+ * Estimate-aware runConvNetwork for benches that build their own
+ * SparsityProfile (fig10/fig11 resprop points) instead of a
+ * NamedNetwork's default.
+ */
+NetworkStats runConv(PeModel &pe, const std::vector<ConvLayer> &layers,
+                     const SparsityProfile &profile,
+                     const BenchOptions &options);
+
+/** Estimate-aware runMatmulNetwork (transformer/RNN suites). */
+NetworkStats runMatmul(PeModel &pe, const std::vector<MatmulLayer> &layers,
+                       double sparsity, SparsifyMethod method,
+                       const BenchOptions &options);
+
 /** The process-wide run report the binary accumulates into. */
 RunReport &report();
+
+/**
+ * Force metadata.mode to "estimated" regardless of --estimate.
+ * For benches whose headline numbers come from the analytical model by
+ * design (sweep_dse): downstream tooling must never mistake their
+ * output for cycle-level measurement, even though they may also run
+ * the exact engine internally (frontier escalation).
+ */
+void markEstimated();
 
 /** Record a named scalar result in the run report. */
 void reportMetric(const std::string &name, double value);

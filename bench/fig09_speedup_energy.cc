@@ -13,9 +13,9 @@
 
 #include "ant/ant_pe.hh"
 #include "bench_common.hh"
+#include "report/rollup.hh"
 #include "scnn/scnn_pe.hh"
 #include "sim/energy.hh"
-#include "util/stats.hh"
 
 using namespace antsim;
 
@@ -34,32 +34,27 @@ main(int argc, char **argv)
 
     Table table({"Network", "Speedup", "Energy reduction",
                  "ANT RCPs avoided"});
-    std::vector<double> speedups;
-    std::vector<double> energy_ratios;
+    Rollup rollup;
 
     for (const auto &network :
          bench::selectNetworks(figure9Networks(), options)) {
         const auto scnn_stats =
-            bench::runNetwork(scnn, network, 0.9, options.run);
+            bench::runNetwork(scnn, network, 0.9, options);
         const auto ant_stats =
-            bench::runNetwork(ant, network, 0.9, options.run);
-        const double speedup = speedupOf(scnn_stats, ant_stats);
-        const double ratio = energyRatioOf(scnn_stats, ant_stats, energy);
-        speedups.push_back(speedup);
-        energy_ratios.push_back(ratio);
-        table.addRow({network.name, Table::times(speedup),
-                      Table::times(ratio),
-                      Table::percent(ant_stats.rcpAvoidedFraction(), 1)});
-        bench::reportMetric("speedup." + network.name, speedup);
-        bench::reportMetric("energy_reduction." + network.name, ratio);
+            bench::runNetwork(ant, network, 0.9, options);
+        const auto row =
+            compareNetworks(network.name, scnn_stats, ant_stats, energy);
+        table.addRow({row.label, Table::times(row.speedup),
+                      Table::times(row.energyReduction),
+                      Table::percent(row.rcpAvoidedFraction, 1)});
+        rollup.add(row);
         bench::reportNetwork("scnn/" + network.name, scnn_stats, scnn,
                              options);
         bench::reportNetwork("ant/" + network.name, ant_stats, ant, options);
     }
-    bench::reportMetric("speedup_geomean", geomean(speedups));
-    bench::reportMetric("energy_reduction_geomean", geomean(energy_ratios));
-    table.addRow({"geomean", Table::times(geomean(speedups)),
-                  Table::times(geomean(energy_ratios)), "-"});
+    rollup.recordMetrics(bench::report());
+    table.addRow({"geomean", Table::times(rollup.speedupGeomean()),
+                  Table::times(rollup.energyReductionGeomean()), "-"});
     bench::emitTable(table, options);
 
     std::printf("paper reference: geomean 3.71x speedup / 4.40x energy; "

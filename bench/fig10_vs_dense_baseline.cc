@@ -14,6 +14,7 @@
 
 #include "ant/ant_pe.hh"
 #include "bench_common.hh"
+#include "report/rollup.hh"
 #include "scnn/scnn_pe.hh"
 
 using namespace antsim;
@@ -34,8 +35,8 @@ main(int argc, char **argv)
     const EnergyModel energy;
 
     // The dense baseline is fixed.
-    const auto dense_stats = runConvNetwork(
-        scnn, layers, SparsityProfile::dense(), options.run);
+    const auto dense_stats = bench::runConv(
+        scnn, layers, SparsityProfile::dense(), options);
 
     // ReSprop-style operating points (G_A sparsity / A sparsity): the
     // activation sparsity is naturally high (ReLU) and creeps up as the
@@ -46,18 +47,21 @@ main(int argc, char **argv)
 
     Table table({"G_A/A sparsity", "Speedup vs dense SCNN+",
                  "Energy reduction vs dense SCNN+"});
+    Rollup rollup;
     for (const auto &[grad_sp, act_sp] : points) {
-        const auto ant_stats = runConvNetwork(
+        const auto ant_stats = bench::runConv(
             ant, layers, SparsityProfile::resprop(grad_sp, act_sp),
-            options.run);
+            options);
         std::ostringstream label;
         label << static_cast<int>(grad_sp * 100) << "%/"
               << static_cast<int>(act_sp * 100) << "%";
-        table.addRow({label.str(),
-                      Table::times(speedupOf(dense_stats, ant_stats)),
-                      Table::times(energyRatioOf(dense_stats, ant_stats,
-                                                 energy))});
+        const auto row =
+            compareNetworks(label.str(), dense_stats, ant_stats, energy);
+        table.addRow({row.label, Table::times(row.speedup),
+                      Table::times(row.energyReduction)});
+        rollup.add(row);
     }
+    rollup.recordMetrics(bench::report());
     bench::emitTable(table, options);
     return bench::finish(options);
 }

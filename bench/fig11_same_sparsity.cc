@@ -13,6 +13,7 @@
 
 #include "ant/ant_pe.hh"
 #include "bench_common.hh"
+#include "report/rollup.hh"
 #include "scnn/scnn_pe.hh"
 
 using namespace antsim;
@@ -40,20 +41,24 @@ main(int argc, char **argv)
 
     Table table({"G_A/A sparsity", "Speedup", "Energy reduction",
                  "RCPs avoided"});
+    Rollup rollup;
     for (const auto &[grad_sp, act_sp] : points) {
         const auto profile = SparsityProfile::resprop(grad_sp, act_sp);
         const auto scnn_stats =
-            runConvNetwork(scnn, layers, profile, options.run);
+            bench::runConv(scnn, layers, profile, options);
         const auto ant_stats =
-            runConvNetwork(ant, layers, profile, options.run);
+            bench::runConv(ant, layers, profile, options);
         std::ostringstream label;
         label << static_cast<int>(grad_sp * 100) << "%/"
               << static_cast<int>(act_sp * 100) << "%";
-        table.addRow(
-            {label.str(), Table::times(speedupOf(scnn_stats, ant_stats)),
-             Table::times(energyRatioOf(scnn_stats, ant_stats, energy)),
-             Table::percent(ant_stats.rcpAvoidedFraction(), 1)});
+        const auto row =
+            compareNetworks(label.str(), scnn_stats, ant_stats, energy);
+        table.addRow({row.label, Table::times(row.speedup),
+                      Table::times(row.energyReduction),
+                      Table::percent(row.rcpAvoidedFraction, 1)});
+        rollup.add(row);
     }
+    rollup.recordMetrics(bench::report(), /*with_rcp=*/true);
     bench::emitTable(table, options);
     return bench::finish(options);
 }

@@ -40,9 +40,9 @@ main(int argc, char **argv)
         acfg.k = 4 * n; // keep the FNIR window proportionally sized
         AntPe ant(acfg);
         const auto scnn_stats =
-            runConvNetwork(scnn, layers, profile, options.run);
+            bench::runConv(scnn, layers, profile, options);
         const auto ant_stats =
-            runConvNetwork(ant, layers, profile, options.run);
+            bench::runConv(ant, layers, profile, options);
         std::ostringstream label;
         label << n << "x" << n;
         table.addRow(

@@ -32,7 +32,7 @@ main(int argc, char **argv)
 
     ScnnPe scnn;
     const auto scnn_stats =
-        runConvNetwork(scnn, layers, profile, options.run);
+        bench::runConv(scnn, layers, profile, options);
 
     Table table({"FNIR inputs (k)", "Speedup vs SCNN+",
                  "Energy reduction"});
@@ -41,7 +41,7 @@ main(int argc, char **argv)
         acfg.k = k;
         AntPe ant(acfg);
         const auto ant_stats =
-            runConvNetwork(ant, layers, profile, options.run);
+            bench::runConv(ant, layers, profile, options);
         table.addRow(
             {std::to_string(k),
              Table::times(speedupOf(scnn_stats, ant_stats)),

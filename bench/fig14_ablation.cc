@@ -32,7 +32,7 @@ main(int argc, char **argv)
 
     ScnnPe scnn;
     const auto scnn_stats =
-        runConvNetwork(scnn, layers, profile, options.run);
+        bench::runConv(scnn, layers, profile, options);
 
     struct Variant
     {
@@ -54,7 +54,7 @@ main(int argc, char **argv)
         acfg.useSCondition = variant.use_s;
         AntPe ant(acfg);
         const auto ant_stats =
-            runConvNetwork(ant, layers, profile, options.run);
+            bench::runConv(ant, layers, profile, options);
         const double speedup = speedupOf(scnn_stats, ant_stats);
         if (variant.use_r && !variant.use_s)
             r_only_speedup = speedup;

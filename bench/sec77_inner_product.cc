@@ -40,13 +40,13 @@ main(int argc, char **argv)
     for (const auto &network :
          bench::selectNetworks(figure9Networks(), options)) {
         const auto dense_stats =
-            bench::runNetwork(dense, network, 0.9, options.run);
+            bench::runNetwork(dense, network, 0.9, options);
         const auto td_stats =
-            bench::runNetwork(tensordash, network, 0.9, options.run);
+            bench::runNetwork(tensordash, network, 0.9, options);
         const auto scnn_stats =
-            bench::runNetwork(scnn, network, 0.9, options.run);
+            bench::runNetwork(scnn, network, 0.9, options);
         const auto ant_stats =
-            bench::runNetwork(ant, network, 0.9, options.run);
+            bench::runNetwork(ant, network, 0.9, options);
 
         const double td_speedup = speedupOf(dense_stats, td_stats);
         const double ant_td = speedupOf(td_stats, ant_stats);

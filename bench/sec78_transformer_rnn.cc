@@ -43,12 +43,12 @@ main(int argc, char **argv)
                  "Speedup vs SCNN+", "Energy reduction"});
     for (const auto &workload : workloads) {
         for (double sparsity : {0.0, 0.5, 0.9}) {
-            const auto ant_stats = runMatmulNetwork(
+            const auto ant_stats = bench::runMatmul(
                 ant, workload.layers, sparsity, SparsifyMethod::TopK,
-                options.run);
-            const auto scnn_stats = runMatmulNetwork(
+                options);
+            const auto scnn_stats = bench::runMatmul(
                 scnn, workload.layers, sparsity, SparsifyMethod::TopK,
-                options.run);
+                options);
             std::ostringstream sp;
             sp << static_cast<int>(sparsity * 100) << "%";
             table.addRow(
@@ -57,6 +57,14 @@ main(int argc, char **argv)
                  Table::times(speedupOf(scnn_stats, ant_stats)),
                  Table::times(energyRatioOf(scnn_stats, ant_stats,
                                             energy))});
+            // Record both runs with their PE so the matmul suites show
+            // up in --json networks and the --csv-path
+            // stall-attribution tables like every conv suite does.
+            const std::string run = std::string(workload.name) + "@" +
+                sp.str();
+            bench::reportNetwork("ant/" + run, ant_stats, ant, options);
+            bench::reportNetwork("scnn/" + run, scnn_stats, scnn,
+                                 options);
         }
     }
     bench::emitTable(table, options);

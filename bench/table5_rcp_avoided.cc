@@ -30,7 +30,7 @@ main(int argc, char **argv)
     for (const auto &network :
          bench::selectNetworks(figure9Networks(), options)) {
         const auto stats = bench::runNetwork(ant, network, 0.9,
-                                             options.run);
+                                             options);
         fractions.push_back(stats.rcpAvoidedFraction());
         table.addRow(
             {network.name, Table::percent(stats.rcpAvoidedFraction(), 1),

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the headline benchmark suite (fig09 speedup/energy, table5 RCP
-# avoidance, abl_threads scaling), collecting each binary's structured
-# --json report, then merge them into a single BENCH_antsim.json at the
-# repo root and validate it against docs/report_schema.json.
+# avoidance, abl_threads scaling, sweep_dse estimator design sweep),
+# collecting each binary's structured --json report, then merge them
+# into a single BENCH_antsim.json at the repo root and validate it
+# against docs/report_schema.json.
 #
 # Usage: scripts/bench_all.sh [--smoke] [build-dir]
 #   --smoke    tiny configuration (2 samples, 2 threads) for CI: same
@@ -45,7 +46,7 @@ if [ "${smoke}" -eq 1 ]; then
     echo "bench_all: smoke configuration (2 samples, 2 threads)"
 fi
 
-suite=(fig09_speedup_energy table5_rcp_avoided abl_threads)
+suite=(fig09_speedup_energy table5_rcp_avoided abl_threads sweep_dse)
 for bench in "${suite[@]}"; do
     echo "bench_all: running ${bench}"
     "${bench_dir}/${bench}" "${flags[@]}" \
@@ -59,7 +60,8 @@ python3 "${repo_root}/scripts/merge_reports.py" "${merged}" \
     "${merge_flags[@]}" \
     "${report_dir}/fig09_speedup_energy.json" \
     "${report_dir}/table5_rcp_avoided.json" \
-    "${report_dir}/abl_threads.json"
+    "${report_dir}/abl_threads.json" \
+    "${report_dir}/sweep_dse.json"
 python3 "${repo_root}/scripts/validate_report.py" \
     "${repo_root}/docs/report_schema.json" "${merged}"
 

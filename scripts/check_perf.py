@@ -13,6 +13,11 @@ stage and the check fails if any stage exceeds factor * baseline
 enough to catch an accidental revert of the census/trace-cache fast
 paths).
 
+When the baseline carries an "estimate_speedup_min" number, the
+report's summary.estimate_speedup (the bench/sweep_dse wall-clock
+advantage of analytical estimation over exact simulation) must meet
+it; see check_estimate_speedup below.
+
 When one or more --micro reports are given (google-benchmark
 --benchmark_format=json output from bench/micro_census and
 bench/micro_csr), the baseline's "micro_speedups" pairs are also
@@ -198,6 +203,32 @@ def write_job_summary(rows, factor, report_path):
             err), file=sys.stderr)
 
 
+def check_estimate_speedup(baseline, report):
+    """Gate the estimator's wall-clock advantage over simulation.
+
+    The baseline's "estimate_speedup_min" is the minimum
+    summary.estimate_speedup (mean seconds per exactly-simulated design
+    point over mean seconds per estimated point, measured by
+    bench/sweep_dse) a run must keep. The whole point of the --estimate
+    fast path is seconds-scale design sweeps; a change that makes the
+    estimator only, say, 10x faster than simulation has silently
+    re-introduced per-nonzero work and must fail loudly."""
+    minimum = baseline.get("estimate_speedup_min")
+    if minimum is None:
+        return
+    speedup = report.get("summary", {}).get("estimate_speedup")
+    if speedup is None:
+        fatal("baseline sets estimate_speedup_min but the report's "
+              "summary has no estimate_speedup (sweep_dse missing "
+              "from the suite?)")
+    verdict = "ok" if speedup >= float(minimum) else "REGRESSED"
+    print("check_perf: estimate_speedup {:8.0f}x  (min {:.0f}x)  {}".format(
+        speedup, float(minimum), verdict))
+    if verdict == "REGRESSED":
+        fatal("estimator wall-clock advantage {:.0f}x fell below the "
+              "{:.0f}x floor".format(speedup, float(minimum)))
+
+
 def main(argv):
     args = list(argv[1:])
     factor = parse_flag(args, "--factor", 2.0)
@@ -224,6 +255,8 @@ def main(argv):
     if failures:
         fatal("stage(s) regressed beyond {:.1f}x baseline: {}".format(
             factor, ", ".join(failures)))
+
+    check_estimate_speedup(load_json(baseline_path), report)
 
     if micro_paths:
         pairs = load_json(baseline_path).get("micro_speedups")

@@ -13,13 +13,21 @@ schema actually uses -- type, properties, required, items,
 additionalProperties, enum, minimum, and local $ref -- because the CI
 containers have no jsonschema package and must not install one.
 
-On top of the structural check, one semantic law is enforced on every
-"stall_attribution" entry found anywhere in the document: each row
-(per layer and the total) must satisfy
-    active + startup + idle_scan + imbalance == cycles
-exactly. The C++ side builds the decomposition saturating so the sum
-holds by construction (src/report/report.cc stallBreakdown); a report
-violating it was produced by a buggy or incompatible writer.
+On top of the structural check, two semantic laws are enforced:
+
+ 1. every "stall_attribution" entry found anywhere in the document:
+    each row (per layer and the total) must satisfy
+        active + startup + idle_scan + imbalance == cycles
+    exactly. The C++ side builds the decomposition saturating so the
+    sum holds by construction (src/report/report.cc stallBreakdown); a
+    report violating it was produced by a buggy or incompatible writer.
+ 2. in a merged document, every run whose metrics source the headline
+    summary block (fig09_speedup_energy, table5_rcp_avoided,
+    abl_threads) must carry metadata.mode == "simulated": estimator
+    output (--estimate, metadata.mode "estimated") may be merged as a
+    run but must never be laundered into the headline geomeans
+    (scripts/merge_reports.py enforces the same law at merge time;
+    this check catches documents assembled any other way).
 
 Exits 0 when the document conforms, 1 with every violation listed
 otherwise.
@@ -141,6 +149,27 @@ def check_stall_sums(node, path, errors):
             check_stall_sums(item, "{}[{}]".format(path, index), errors)
 
 
+SUMMARY_SOURCE_RUNS = (
+    "fig09_speedup_energy", "table5_rcp_avoided", "abl_threads")
+
+
+def check_summary_sources(document, errors):
+    """Merged documents only: the runs that feed the summary block must
+    be cycle-level simulations, never --estimate predictions."""
+    runs = document.get("runs")
+    if not isinstance(runs, dict):
+        return
+    for binary in SUMMARY_SOURCE_RUNS:
+        run = runs.get(binary)
+        if not isinstance(run, dict):
+            continue  # structural validation already reported absence
+        mode = run.get("metadata", {}).get("mode", "simulated")
+        if mode != "simulated":
+            errors.append(
+                "runs.{}.metadata.mode: '{}' run feeds the headline "
+                "summary; only 'simulated' runs may".format(binary, mode))
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -165,6 +194,8 @@ def main(argv):
     else:
         validator.check(schema, document, "")
     check_stall_sums(document, "", validator.errors)
+    if isinstance(document, dict):
+        check_summary_sources(document, validator.errors)
     if validator.errors:
         print("validate_report: {} FAILS {} ({} violations):".format(
             doc_path, schema_path, len(validator.errors)))

@@ -73,6 +73,9 @@ class DenseInnerProductPe : public PeModel
                       const std::vector<const CsrMatrix *> &kernels,
                       const CsrMatrix &image, bool collect_output) override;
 
+    /** Static parameters (read by the analytical estimator). */
+    const InnerProductConfig &config() const { return config_; }
+
   private:
     InnerProductConfig config_;
 };
@@ -110,6 +113,9 @@ class TensorDashPe : public PeModel
     PeResult runStack(const ProblemSpec &spec,
                       const std::vector<const CsrMatrix *> &kernels,
                       const CsrMatrix &image, bool collect_output) override;
+
+    /** Static parameters (read by the analytical estimator). */
+    const InnerProductConfig &config() const { return config_; }
 
   private:
     InnerProductConfig config_;

@@ -301,6 +301,13 @@ RunReport::setHistograms(const obs::HistogramRegistry &hists)
     hasHistograms_ = true;
 }
 
+void
+RunReport::setEstimate(Json estimate)
+{
+    estimate_ = std::move(estimate);
+    hasEstimate_ = true;
+}
+
 Json
 RunReport::toJson(bool include_profile) const
 {
@@ -317,6 +324,7 @@ RunReport::toJson(bool include_profile) const
     metadata.set("chunk", static_cast<std::uint64_t>(metadata_.chunk));
     metadata.set("audit", metadata_.audit);
     metadata.set("energy_table_version", metadata_.energyTableVersion);
+    metadata.set("mode", metadata_.mode);
     json.set("metadata", std::move(metadata));
 
     json.set("metrics", metrics_);
@@ -357,6 +365,9 @@ RunReport::toJson(bool include_profile) const
 
     if (hasHistograms_)
         json.set("histograms", histograms_);
+
+    if (hasEstimate_)
+        json.set("estimate", estimate_);
 
     if (include_profile)
         json.set("profile", profileToJson());

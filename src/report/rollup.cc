@@ -1,0 +1,75 @@
+#include "report/rollup.hh"
+
+#include "util/stats.hh"
+
+namespace antsim {
+
+NetworkComparison
+compareNetworks(const std::string &label, const NetworkStats &baseline,
+                const NetworkStats &contender, const EnergyModel &energy)
+{
+    NetworkComparison row;
+    row.label = label;
+    row.speedup = speedupOf(baseline, contender);
+    row.energyReduction = energyRatioOf(baseline, contender, energy);
+    row.rcpAvoidedFraction = contender.rcpAvoidedFraction();
+    return row;
+}
+
+void
+Rollup::add(NetworkComparison row)
+{
+    rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<double>
+column(const std::vector<NetworkComparison> &rows,
+       double NetworkComparison::*member)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const NetworkComparison &row : rows)
+        values.push_back(row.*member);
+    return values;
+}
+
+} // namespace
+
+double
+Rollup::speedupGeomean() const
+{
+    return geomean(column(rows_, &NetworkComparison::speedup));
+}
+
+double
+Rollup::energyReductionGeomean() const
+{
+    return geomean(column(rows_, &NetworkComparison::energyReduction));
+}
+
+double
+Rollup::rcpAvoidedMean() const
+{
+    return mean(column(rows_, &NetworkComparison::rcpAvoidedFraction));
+}
+
+void
+Rollup::recordMetrics(RunReport &report, bool with_rcp) const
+{
+    for (const NetworkComparison &row : rows_) {
+        report.addMetric("speedup." + row.label, row.speedup);
+        report.addMetric("energy_reduction." + row.label,
+                         row.energyReduction);
+        if (with_rcp)
+            report.addMetric("rcp_avoided." + row.label,
+                             row.rcpAvoidedFraction);
+    }
+    report.addMetric("speedup_geomean", speedupGeomean());
+    report.addMetric("energy_reduction_geomean", energyReductionGeomean());
+    if (with_rcp)
+        report.addMetric("rcp_avoided_mean", rcpAvoidedMean());
+}
+
+} // namespace antsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Baseline-vs-contender rollups: the speedup / energy-reduction /
+ * RCP-avoidance arithmetic every comparison bench needs, in one place.
+ *
+ * fig09, fig10, and fig11 all print the same three derived columns and
+ * the same geomean footer; before this header each binary carried its
+ * own copy of the ratio and aggregation code, and scripts/ grew a
+ * fourth in merge_reports.py. A Rollup owns the comparison rows,
+ * computes the aggregates, and records everything in the RunReport
+ * under the *standard* metric names (speedup.LABEL,
+ * energy_reduction.LABEL, rcp_avoided.LABEL, speedup_geomean,
+ * energy_reduction_geomean, rcp_avoided_mean) that merge_reports.py
+ * lifts into the suite summary and check_perf.py gates -- so a bench
+ * that uses Rollup is automatically consumable by the whole perf
+ * trajectory without bespoke lifting code.
+ */
+
+#ifndef ANTSIM_REPORT_ROLLUP_HH
+#define ANTSIM_REPORT_ROLLUP_HH
+
+#include <string>
+#include <vector>
+
+#include "report/report.hh"
+#include "sim/energy.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+
+/** One baseline-vs-contender measurement. */
+struct NetworkComparison
+{
+    /** Row label: network name or operating-point description. */
+    std::string label;
+    /** Contender speedup over the baseline (summed PE cycles). */
+    double speedup = 0.0;
+    /** How many times less energy the contender uses. */
+    double energyReduction = 0.0;
+    /** Contender's fraction of RCPs avoided. */
+    double rcpAvoidedFraction = 0.0;
+};
+
+/**
+ * Compare @p contender against @p baseline: speedup, energy reduction
+ * under @p energy, and the contender's RCP-avoidance fraction.
+ */
+NetworkComparison compareNetworks(const std::string &label,
+                                  const NetworkStats &baseline,
+                                  const NetworkStats &contender,
+                                  const EnergyModel &energy);
+
+/** Accumulates comparison rows and derives the suite aggregates. */
+class Rollup
+{
+  public:
+    void add(NetworkComparison row);
+
+    const std::vector<NetworkComparison> &rows() const { return rows_; }
+    bool empty() const { return rows_.empty(); }
+
+    /** Geometric-mean speedup over all rows (fatal when empty). */
+    double speedupGeomean() const;
+
+    /** Geometric-mean energy reduction over all rows (fatal when empty). */
+    double energyReductionGeomean() const;
+
+    /** Arithmetic-mean RCP-avoided fraction over all rows. */
+    double rcpAvoidedMean() const;
+
+    /**
+     * Record every row and the aggregates in @p report under the
+     * standard metric names. @p with_rcp controls whether the
+     * rcp_avoided.* / rcp_avoided_mean metrics are emitted (benches
+     * whose baseline-relative table has no RCP column skip them).
+     */
+    void recordMetrics(RunReport &report, bool with_rcp = false) const;
+
+  private:
+    std::vector<NetworkComparison> rows_;
+};
+
+} // namespace antsim
+
+#endif // ANTSIM_REPORT_ROLLUP_HH

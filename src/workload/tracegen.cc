@@ -7,9 +7,6 @@
 
 namespace antsim {
 
-namespace {
-
-/** Recipe of a conv phase's image plane (padding/dilation included). */
 PlaneRecipe
 convImageRecipe(const ConvLayer &layer, TrainingPhase phase,
                 const SparsityProfile &profile, const PhaseSpecs &specs)
@@ -28,7 +25,6 @@ convImageRecipe(const ConvLayer &layer, TrainingPhase phase,
             layer.paddedH(), layer.paddedW(), layer.pad, 1, false};
 }
 
-/** Recipe of one kernel-stack plane of a conv phase. */
 PlaneRecipe
 convKernelRecipe(const ConvLayer &layer, TrainingPhase phase,
                  const SparsityProfile &profile, const PhaseSpecs &specs)
@@ -43,8 +39,6 @@ convKernelRecipe(const ConvLayer &layer, TrainingPhase phase,
     recipe.rotate = phase == TrainingPhase::Backward;
     return recipe;
 }
-
-} // namespace
 
 std::uint64_t
 mixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b,

@@ -32,6 +32,8 @@
 
 namespace antsim {
 
+struct PlaneRecipe;
+
 /** How a target sparsity is imposed on a plane. */
 enum class SparsifyMethod {
     /** i.i.d. Bernoulli mask at the target rate. */
@@ -157,6 +159,21 @@ std::uint64_t stackTaskCount(const ConvLayer &layer, TrainingPhase phase);
  */
 StackTask makeConvPhaseTask(const ConvLayer &layer, TrainingPhase phase,
                             const SparsityProfile &profile, Rng &rng);
+
+/**
+ * Recipe of a conv phase's image plane (padding/dilation included).
+ * The single source of geometric truth for both the trace generator
+ * and the analytical estimator (src/estimate), which models the plane
+ * *ensemble* the recipe describes instead of sampling instances.
+ */
+PlaneRecipe convImageRecipe(const ConvLayer &layer, TrainingPhase phase,
+                            const SparsityProfile &profile,
+                            const PhaseSpecs &specs);
+
+/** Recipe of one kernel-stack plane of a conv phase. */
+PlaneRecipe convKernelRecipe(const ConvLayer &layer, TrainingPhase phase,
+                             const SparsityProfile &profile,
+                             const PhaseSpecs &specs);
 
 /**
  * Embed an unpadded plane into a larger plane with the given border

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Monotonicity properties of the analytical estimator (src/estimate):
+ * predicted cycles must not decrease when density rises (more non-zero
+ * work) and must not increase when the multiplier array grows (more
+ * parallelism). These orderings catch sign and inversion bugs that no
+ * golden-value comparison would -- a model can be within 10% of the
+ * reference and still rank design points backwards, which is fatal for
+ * the sweep_dse use case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ant/ant_pe.hh"
+#include "baselines/inner_product.hh"
+#include "estimate/estimate.hh"
+#include "scnn/scnn_pe.hh"
+#include "workload/runner.hh"
+
+namespace antsim {
+namespace {
+
+std::vector<ConvLayer>
+probeNetwork()
+{
+    return {
+        {"p0", 3, 16, 32, 32, 3, 1, 1},
+        {"p1", 16, 16, 16, 16, 3, 2, 1},
+        {"p2", 16, 8, 8, 8, 1, 1, 0},
+    };
+}
+
+std::uint64_t
+estimatedCycles(const estimate::PeDescriptor &pe, double sparsity)
+{
+    const NetworkStats stats = estimate::estimateConvNetwork(
+        pe, probeNetwork(), SparsityProfile::swat(sparsity), RunConfig{});
+    return stats.total.get(Counter::Cycles);
+}
+
+/**
+ * Slack for the monotone orderings: the estimator accumulates in the
+ * real domain and rounds each counter once at the end, so two design
+ * points whose true predictions are equal can differ by a cycle of
+ * rounding noise. 0.2% + 1 cycle is far below any swing that could
+ * reorder design points in a sweep.
+ */
+std::uint64_t
+roundingSlack(std::uint64_t cycles)
+{
+    return 1 + cycles / 500;
+}
+
+const std::vector<double> &
+densityGrid()
+{
+    // Densities 1 - sparsity from 5% to 100%.
+    static const std::vector<double> sparsities = {
+        0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0};
+    return sparsities;
+}
+
+TEST(EstimateProperty, AntCyclesMonotoneInDensity)
+{
+    const auto pe = estimate::PeDescriptor::of(AntPeConfig{});
+    std::uint64_t prev = 0;
+    for (double s : densityGrid()) {
+        const std::uint64_t cycles = estimatedCycles(pe, s);
+        EXPECT_GE(cycles + roundingSlack(cycles), prev) << "sparsity " << s;
+        prev = cycles;
+    }
+}
+
+TEST(EstimateProperty, ScnnCyclesMonotoneInDensity)
+{
+    const auto pe = estimate::PeDescriptor::of(ScnnPeConfig{});
+    std::uint64_t prev = 0;
+    for (double s : densityGrid()) {
+        const std::uint64_t cycles = estimatedCycles(pe, s);
+        EXPECT_GE(cycles + roundingSlack(cycles), prev) << "sparsity " << s;
+        prev = cycles;
+    }
+}
+
+TEST(EstimateProperty, TensorDashCyclesMonotoneInDensity)
+{
+    const auto pe =
+        estimate::PeDescriptor::ofTensorDash(InnerProductConfig{});
+    std::uint64_t prev = 0;
+    for (double s : densityGrid()) {
+        const std::uint64_t cycles = estimatedCycles(pe, s);
+        EXPECT_GE(cycles + roundingSlack(cycles), prev) << "sparsity " << s;
+        prev = cycles;
+    }
+}
+
+TEST(EstimateProperty, AntCyclesMonotoneInMultipliers)
+{
+    // Larger n x n array (with the FNIR window scaled to stay >= n)
+    // must never predict more cycles at fixed work.
+    for (double sparsity : {0.9, 0.5}) {
+        std::uint64_t prev = UINT64_MAX;
+        for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+            AntPeConfig cfg;
+            cfg.n = n;
+            cfg.k = 4 * n;
+            const std::uint64_t cycles =
+                estimatedCycles(estimate::PeDescriptor::of(cfg), sparsity);
+            EXPECT_LE(cycles, prev == UINT64_MAX ? prev : prev + roundingSlack(prev)) << "n " << n << " sparsity " << sparsity;
+            prev = cycles;
+        }
+    }
+}
+
+TEST(EstimateProperty, ScnnCyclesMonotoneInMultipliers)
+{
+    for (double sparsity : {0.9, 0.5}) {
+        std::uint64_t prev = UINT64_MAX;
+        for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+            ScnnPeConfig cfg;
+            cfg.n = n;
+            const std::uint64_t cycles =
+                estimatedCycles(estimate::PeDescriptor::of(cfg), sparsity);
+            EXPECT_LE(cycles, prev == UINT64_MAX ? prev : prev + roundingSlack(prev)) << "n " << n << " sparsity " << sparsity;
+            prev = cycles;
+        }
+    }
+}
+
+TEST(EstimateProperty, DenseCyclesMonotoneInMultipliers)
+{
+    std::uint64_t prev = UINT64_MAX;
+    for (std::uint32_t m : {4u, 8u, 16u, 32u, 64u}) {
+        InnerProductConfig cfg;
+        cfg.multipliers = m;
+        const std::uint64_t cycles =
+            estimatedCycles(estimate::PeDescriptor::ofDense(cfg), 0.9);
+        EXPECT_LE(cycles, prev == UINT64_MAX ? prev : prev + roundingSlack(prev)) << "multipliers " << m;
+        prev = cycles;
+    }
+}
+
+TEST(EstimateProperty, WiderFnirWindowNeverSlower)
+{
+    // At fixed n, a wider FNIR comparator window consumes candidates
+    // faster, so predicted cycles must be non-increasing in k.
+    std::uint64_t prev = UINT64_MAX;
+    for (std::uint32_t k : {4u, 8u, 16u, 32u}) {
+        AntPeConfig cfg;
+        cfg.k = k;
+        const std::uint64_t cycles =
+            estimatedCycles(estimate::PeDescriptor::of(cfg), 0.9);
+        EXPECT_LE(cycles, prev == UINT64_MAX ? prev : prev + roundingSlack(prev)) << "k " << k;
+        prev = cycles;
+    }
+}
+
+} // namespace
+} // namespace antsim

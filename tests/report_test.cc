@@ -17,6 +17,7 @@
 #include "report/json.hh"
 #include "report/profiler.hh"
 #include "report/report.hh"
+#include "report/rollup.hh"
 #include "scnn/scnn_pe.hh"
 #include "workload/runner.hh"
 
@@ -214,6 +215,87 @@ TEST(Report, RunReportDocumentShape)
     const std::string csv = report.toCsv();
     EXPECT_NE(csv.find("# fig09"), std::string::npos);
     EXPECT_NE(csv.find("ResNet18,3.71x"), std::string::npos);
+}
+
+TEST(Report, MatmulStallAttributionReachesCsvAndJson)
+{
+    // Regression: sec78 never called reportNetwork, so matmul runs had
+    // no stall_attribution section and --csv-path dropped their stall
+    // columns entirely. Matmul stats must flow through the same
+    // attribution path as conv stats.
+    AntPe ant;
+    const std::vector<MatmulLayer> layers = {{"mm", 16, 8, 8, 4}};
+    const auto stats = runMatmulNetwork(ant, layers, 0.5,
+                                        SparsifyMethod::TopK,
+                                        fastConfig());
+
+    RunReport report;
+    report.addStallAttribution("ant/transformer@50%", stats, "ant",
+                               ant.multiplierCount());
+
+    const Json doc = report.toJson();
+    const Json *section = doc.find("stall_attribution");
+    ASSERT_NE(section, nullptr);
+    ASSERT_EQ(section->size(), 1u);
+    const Json &entry = section->at(0u);
+    EXPECT_EQ(entry.at("network").asString(), "ant/transformer@50%");
+    // Partition law holds on the total row (saturating decomposition).
+    const Json &total = entry.at("total");
+    EXPECT_EQ(total.at("active").asUint() + total.at("startup").asUint() +
+                  total.at("idle_scan").asUint() +
+                  total.at("imbalance").asUint(),
+              total.at("cycles").asUint());
+
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("# stall_attribution/ant/transformer@50%"),
+              std::string::npos);
+}
+
+TEST(Report, ModeAndEstimateSection)
+{
+    // Reports default to mode "simulated" with no estimate section;
+    // the section and the "estimated" tag only appear when set, so
+    // simulation documents are byte-identical to the pre-estimator
+    // format except for the mode key.
+    RunReport report;
+    EXPECT_EQ(report.toJson().at("metadata").at("mode").asString(),
+              "simulated");
+    EXPECT_EQ(report.toJson().find("estimate"), nullptr);
+
+    RunMetadata metadata;
+    metadata.mode = "estimated";
+    report.setMetadata(metadata);
+    Json detail = Json::object();
+    detail.set("design_points", std::uint64_t{108});
+    report.setEstimate(std::move(detail));
+
+    const Json doc = report.toJson();
+    EXPECT_EQ(doc.at("metadata").at("mode").asString(), "estimated");
+    const Json *estimate = doc.find("estimate");
+    ASSERT_NE(estimate, nullptr);
+    EXPECT_EQ(estimate->at("design_points").asUint(), 108u);
+}
+
+TEST(Report, RollupStandardMetricNames)
+{
+    // The rollup must emit the exact metric names merge_reports.py
+    // lifts into the suite summary and check_perf.py gates.
+    Rollup rollup;
+    rollup.add({"A", 2.0, 4.0, 0.9});
+    rollup.add({"B", 8.0, 1.0, 0.7});
+    EXPECT_DOUBLE_EQ(rollup.speedupGeomean(), 4.0);
+    EXPECT_DOUBLE_EQ(rollup.energyReductionGeomean(), 2.0);
+    EXPECT_DOUBLE_EQ(rollup.rcpAvoidedMean(), 0.8);
+
+    RunReport report;
+    rollup.recordMetrics(report, /*with_rcp=*/true);
+    const Json metrics = report.toJson().at("metrics");
+    EXPECT_DOUBLE_EQ(metrics.at("speedup.A").asDouble(), 2.0);
+    EXPECT_DOUBLE_EQ(metrics.at("energy_reduction.B").asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.at("speedup_geomean").asDouble(), 4.0);
+    EXPECT_DOUBLE_EQ(metrics.at("energy_reduction_geomean").asDouble(),
+                     2.0);
+    EXPECT_DOUBLE_EQ(metrics.at("rcp_avoided_mean").asDouble(), 0.8);
 }
 
 TEST(Report, WriteJsonFileParsesBack)
