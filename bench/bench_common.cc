@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "estimate/estimate.hh"
+#include "obs/host_trace.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/energy.hh"
 #include "sim/pe_model.hh"
@@ -50,11 +52,11 @@ BenchOptions
 parseOptions(int argc, const char *const *argv,
              const std::vector<std::string> &extra_flags, Cli **cli_out)
 {
-    std::vector<std::string> known = {"samples",     "seed",      "pes",
-                                      "csv",         "chunk",     "audit",
-                                      "threads",     "json",      "networks",
-                                      "trace-cache", "trace-out", "log-level",
-                                      "simd",        "estimate"};
+    std::vector<std::string> known = {
+        "samples",   "seed",        "pes",         "csv",
+        "chunk",     "audit",       "threads",     "json",
+        "networks",  "trace-cache", "trace-out",   "log-level",
+        "simd",      "estimate",    "metrics-out", "host-trace-out"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     // Environment first, flags after: --log-level wins over
     // ANTSIM_LOG_LEVEL, --trace-out wins over ANTSIM_TRACE.
@@ -106,6 +108,34 @@ parseOptions(int argc, const char *const *argv,
     }
     if (!options.traceOutPath.empty())
         obs::setEnabled(true);
+    // --metrics-out wins over ANTSIM_METRICS, --host-trace-out over
+    // ANTSIM_HOST_TRACE (same precedence as --trace-out/ANTSIM_TRACE).
+    // A non-empty path switches the collector on for the whole run and
+    // attaches the main thread; pool workers attach themselves.
+    if (g_cli->has("metrics-out")) {
+        options.metricsOutPath = g_cli->get("metrics-out");
+        if (options.metricsOutPath == "true")
+            ANT_FATAL("flag --metrics-out expects an output path");
+    } else if (const char *env = std::getenv("ANTSIM_METRICS");
+               env != nullptr && env[0] != '\0') {
+        options.metricsOutPath = env;
+    }
+    if (g_cli->has("host-trace-out")) {
+        options.hostTraceOutPath = g_cli->get("host-trace-out");
+        if (options.hostTraceOutPath == "true")
+            ANT_FATAL("flag --host-trace-out expects an output path");
+    } else if (const char *env = std::getenv("ANTSIM_HOST_TRACE");
+               env != nullptr && env[0] != '\0') {
+        options.hostTraceOutPath = env;
+    }
+    if (!options.metricsOutPath.empty()) {
+        obs::metrics::setEnabled(true);
+        obs::metrics::threadAttach();
+    }
+    if (!options.hostTraceOutPath.empty()) {
+        obs::host::setEnabled(true);
+        obs::host::threadAttach("main");
+    }
     if (g_cli->getBool("audit"))
         audit::setEnabled(true);
     // --simd wins over the ANTSIM_SIMD environment setting (resolved
@@ -139,6 +169,11 @@ parseOptions(int argc, const char *const *argv,
     metadata.binary = argc > 0 ? basenameOf(argv[0]) : "unknown";
     metadata.seed = options.run.seed;
     metadata.threads = options.run.numThreads;
+    // The runner silently clamps to hardware concurrency; record what
+    // a run will actually use so --threads 64 reports from an 8-way
+    // machine are distinguishable from genuine 64-way runs.
+    metadata.threadsEffective =
+        effectiveWorkerCount(options.run.numThreads);
     metadata.pes = options.run.numPes;
     metadata.samples = options.run.sampleCap;
     metadata.chunk = options.run.chunkCapacity;
@@ -338,6 +373,19 @@ finish(const BenchOptions &options)
     if (!options.traceOutPath.empty())
         obs::globalSink().writeChromeJson(options.traceOutPath,
                                           options.run.numPes);
+    // Host metrics ride the report only when collection was on, so
+    // metrics-off report bytes stay identical (obs_overhead_test).
+    if (obs::metrics::enabled())
+        g_report.setHostMetrics(obs::metrics::snapshot());
+    if (!options.metricsOutPath.empty()) {
+        obs::metrics::writePrometheus(options.metricsOutPath);
+        std::printf("[metrics] wrote %s\n", options.metricsOutPath.c_str());
+    }
+    if (!options.hostTraceOutPath.empty()) {
+        obs::host::writeChromeJson(options.hostTraceOutPath);
+        std::printf("[host-trace] wrote %s\n",
+                    options.hostTraceOutPath.c_str());
+    }
     if (!options.jsonPath.empty()) {
         g_report.writeJson(options.jsonPath);
         std::printf("[report] wrote %s\n", options.jsonPath.c_str());

@@ -30,6 +30,16 @@
  *   --trace-out path  write the simulated-time Chrome trace (src/obs,
  *                 docs/OBSERVABILITY.md) to @p path; defaults to the
  *                 ANTSIM_TRACE environment variable when set
+ *   --metrics-out path  write the host-side metrics registry
+ *                 (src/obs/metrics.hh) as Prometheus text exposition
+ *                 to @p path and embed a host_metrics section in the
+ *                 --json report; defaults to the ANTSIM_METRICS
+ *                 environment variable when set. Never changes
+ *                 results, only host-side accounting
+ *   --host-trace-out path  write the host-execution Chrome trace
+ *                 (src/obs/host_trace.hh: per-stage / per-unit /
+ *                 per-worker wall-clock spans) to @p path; defaults to
+ *                 the ANTSIM_HOST_TRACE environment variable when set
  *   --log-level L verbosity: error, warn (default), info (adds the
  *                 progress heartbeat), or debug; defaults to the
  *                 ANTSIM_LOG_LEVEL environment variable when set
@@ -76,6 +86,20 @@ struct BenchOptions
      * A non-empty path enables tracing for the whole run.
      */
     std::string traceOutPath;
+    /**
+     * Write the Prometheus text exposition of the host metrics
+     * registry here when non-empty (--metrics-out path, or the
+     * ANTSIM_METRICS environment variable). A non-empty path enables
+     * metrics collection for the whole run and adds a host_metrics
+     * section to the JSON report.
+     */
+    std::string metricsOutPath;
+    /**
+     * Write the host-execution Chrome trace here when non-empty
+     * (--host-trace-out path, or the ANTSIM_HOST_TRACE environment
+     * variable). A non-empty path enables host span collection.
+     */
+    std::string hostTraceOutPath;
     /**
      * Use the analytical estimator instead of the cycle-level engine
      * (--estimate, or the ANTSIM_ESTIMATE environment variable). Only

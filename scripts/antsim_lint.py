@@ -117,6 +117,12 @@ RULES = {
             # The sanctioned deterministic generator itself.
             "src/util/rng.hh",
             "src/util/rng.cc",
+            # Host-side observability measures wall-clock by design;
+            # instrumented code calls their nowNs() helpers and never
+            # names a clock itself (docs/OBSERVABILITY.md).
+            "src/obs/metrics.hh",
+            "src/obs/host_trace.hh",
+            "src/obs/host_trace.cc",
         ),
     },
     "parallel-capture-discipline": {

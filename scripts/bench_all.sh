@@ -5,6 +5,12 @@
 # into a single BENCH_antsim.json at the repo root and validate it
 # against docs/report_schema.json.
 #
+# Each successful suite run also appends one JSON line to
+# BENCH_history.jsonl at the repo root (timestamp, headline geomeans,
+# stage wall clocks, trace-cache roll-up), building a perf trajectory
+# across commits; `scripts/check_perf.py --trend` prints the delta of
+# the newest entry against the previous one.
+#
 # Usage: scripts/bench_all.sh [--smoke] [build-dir]
 #   --smoke    tiny configuration (2 samples, 2 threads) for CI: same
 #              code paths and schema, seconds instead of minutes.
@@ -64,5 +70,43 @@ python3 "${repo_root}/scripts/merge_reports.py" "${merged}" \
     "${report_dir}/sweep_dse.json"
 python3 "${repo_root}/scripts/validate_report.py" \
     "${repo_root}/docs/report_schema.json" "${merged}"
+
+# Append this run's headline numbers to the perf trajectory. The entry
+# is one JSON object per line (jsonl): summary geomeans and stage wall
+# clocks verbatim, plus a trace-cache roll-up summed over every run's
+# profile.census section.
+history="${repo_root}/BENCH_history.jsonl"
+python3 - "${merged}" "${history}" "${smoke}" <<'PY'
+import json
+import sys
+import time
+
+merged_path, history_path, smoke = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(merged_path, "r", encoding="utf-8") as handle:
+    merged = json.load(handle)
+summary = merged.get("summary", {})
+
+census = {}
+for run in merged.get("runs", {}).values():
+    for key, value in run.get("profile", {}).get("census", {}).items():
+        if key in ("trace_cache_hits", "trace_cache_misses",
+                   "trace_planes_generated") and isinstance(value, int):
+            census[key] = census.get(key, 0) + value
+
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "smoke": smoke == "1",
+}
+for key in ("speedup_geomean", "energy_reduction_geomean",
+            "rcp_avoided_mean", "estimate_speedup"):
+    if key in summary:
+        entry[key] = summary[key]
+entry["stage_seconds"] = summary.get("stage_seconds", {})
+entry["census"] = census
+with open(history_path, "a", encoding="utf-8") as handle:
+    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+print("bench_all: appended history entry to " + history_path)
+PY
+python3 "${repo_root}/scripts/check_perf.py" --trend "${history}"
 
 echo "bench_all: done. merged report: ${merged}"

@@ -3,6 +3,9 @@
 
 Usage: check_perf.py BASELINE.json REPORT.json [--factor F]
        [--min-seconds S] [--micro MICRO.json ...]
+       check_perf.py --trend [BENCH_history.jsonl]
+       check_perf.py --overhead BASE.json METERED.json
+       [--max-overhead-pct P]
 
 BASELINE.json is the checked-in scripts/perf_baseline.json: a document
 with a "stage_seconds" object of per-stage seconds recorded from a
@@ -36,6 +39,21 @@ summary), the same table is appended there as markdown.
 
 Stages whose baseline is below --min-seconds (default 0.05) are skipped:
 sub-50ms stages are timer noise, not signal.
+
+--trend is informational, never a gate: it reads the BENCH_history.jsonl
+appended by scripts/bench_all.sh (one JSON object per suite run:
+timestamp, geomeans, stage seconds, trace-cache roll-up) and prints the
+delta of the newest entry against the one before it. Machine-to-machine
+variance makes an automatic gate on history meaningless; the value is a
+human-readable trajectory in the CI log.
+
+--overhead gates the cost of observability itself: BASE.json is a
+report from a metrics-off run, METERED.json the same configuration with
+--metrics-out/--host-trace-out enabled, and the summed
+profile.stages[].seconds of the metered run must stay within
+--max-overhead-pct (default 3) of the base run. This is the CI teeth
+behind the "one thread-local branch when off, cheap when on" design
+contract of src/obs/metrics.hh.
 
 Only the Python standard library is used: the bench containers and the
 CI runner deliberately have no third-party packages installed.
@@ -229,8 +247,107 @@ def check_estimate_speedup(baseline, report):
               "{:.0f}x floor".format(speedup, float(minimum)))
 
 
+def run_trend(args):
+    """Print the newest history entry's delta vs the previous one."""
+    path = args[0] if args else "BENCH_history.jsonl"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError as err:
+        fatal("cannot read {}: {}".format(path, err))
+    entries = []
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            fatal("{} line {}: {}".format(path, line_no, err))
+    if not entries:
+        fatal("{} has no entries".format(path))
+    current = entries[-1]
+    print("check_perf: trend from {} ({} entries)".format(
+        path, len(entries)))
+    print("check_perf: latest entry: {}".format(
+        current.get("timestamp", "<no timestamp>")))
+    if len(entries) == 1:
+        print("check_perf: no previous entry to compare against")
+        return 0
+    previous = entries[-2]
+
+    def delta_line(label, cur, prev, unit=""):
+        if not isinstance(cur, (int, float)):
+            return
+        if isinstance(prev, (int, float)) and prev != 0:
+            pct = (cur - prev) / prev * 100.0
+            print("check_perf:   {:<28} {:10.4f}{}  ({:+.1f}% vs "
+                  "{:.4f})".format(label, cur, unit, pct, prev))
+        else:
+            print("check_perf:   {:<28} {:10.4f}{}  (no previous "
+                  "value)".format(label, cur, unit))
+
+    for key in ("speedup_geomean", "energy_reduction_geomean",
+                "rcp_avoided_mean", "estimate_speedup"):
+        delta_line(key, current.get(key), previous.get(key), "x")
+    stages_cur = current.get("stage_seconds", {})
+    stages_prev = previous.get("stage_seconds", {})
+    if isinstance(stages_cur, dict):
+        for stage in sorted(stages_cur):
+            delta_line("stage " + stage, stages_cur.get(stage),
+                       stages_prev.get(stage) if
+                       isinstance(stages_prev, dict) else None, "s")
+    census_cur = current.get("census", {})
+    census_prev = previous.get("census", {})
+    if isinstance(census_cur, dict):
+        for key in sorted(census_cur):
+            delta_line("census " + key, census_cur.get(key),
+                       census_prev.get(key) if
+                       isinstance(census_prev, dict) else None)
+    # Informational only: history entries come from different machines
+    # and commits, so there is no threshold worth failing on.
+    return 0
+
+
+def profile_seconds(report, path):
+    """Sum of profile.stages[].seconds in a single-run report."""
+    stages = report.get("profile", {}).get("stages")
+    if not isinstance(stages, list) or not stages:
+        fatal("{} has no profile.stages (report written without the "
+              "profile section?)".format(path))
+    total = 0.0
+    for stage in stages:
+        seconds = stage.get("seconds")
+        if not isinstance(seconds, (int, float)):
+            fatal("{}: stage entry without numeric seconds".format(path))
+        total += seconds
+    return total
+
+
+def run_overhead(args):
+    """Gate metered-run overhead vs a metrics-off base run."""
+    max_pct = parse_flag(args, "--max-overhead-pct", 3.0)
+    if len(args) != 2:
+        fatal("--overhead expects BASE.json METERED.json")
+    base_path, metered_path = args
+    base = profile_seconds(load_json(base_path), base_path)
+    metered = profile_seconds(load_json(metered_path), metered_path)
+    if base <= 0:
+        fatal("{}: non-positive profiled seconds".format(base_path))
+    pct = (metered - base) / base * 100.0
+    verdict = "ok" if pct <= max_pct else "REGRESSED"
+    print("check_perf: observability overhead: base {:.4f}s, metered "
+          "{:.4f}s, delta {:+.1f}% (max {:+.1f}%)  {}".format(
+              base, metered, pct, max_pct, verdict))
+    if verdict == "REGRESSED":
+        fatal("metered run exceeded the {:.1f}% observability overhead "
+              "budget".format(max_pct))
+    return 0
+
+
 def main(argv):
     args = list(argv[1:])
+    if args and args[0] == "--trend":
+        return run_trend(args[1:])
+    if args and args[0] == "--overhead":
+        return run_overhead(args[1:])
     factor = parse_flag(args, "--factor", 2.0)
     min_seconds = parse_flag(args, "--min-seconds", 0.05)
     micro_paths = parse_micro_paths(args)

@@ -1,12 +1,29 @@
 #!/usr/bin/env python3
-"""Summarize (and optionally check) an ANTSim simulated-time trace.
+"""Summarize (and optionally check) an ANTSim trace.
 
-Usage: trace_summary.py TRACE.json [--check] [--top N]
+Usage: trace_summary.py TRACE.json [--check] [--top N] [--host]
 
 TRACE.json is the Chrome trace-event document written by
 --trace-out / ANTSIM_TRACE (src/obs/trace.cc, docs/OBSERVABILITY.md).
 Timestamps are simulated cycles, not wall-clock: the summary is
 deterministic for a fixed configuration at every thread count.
+
+--host switches to the host-execution trace written by
+--host-trace-out / ANTSIM_HOST_TRACE (src/obs/host_trace.cc):
+wall-clock run/stage/unit spans per host thread. The summary prints
+the --top spans by *self* time (duration minus the durations of spans
+nested inside it on the same thread -- the time the span itself was on
+the CPU) and a per-thread utilization table (top-level span time over
+the thread's observed makespan). With --check it verifies the host
+contract instead of the simulated-time one:
+  - every event carries name/ph/pid/ts, ph is one of M/X/i, and
+    durations are non-negative integers;
+  - span cats are exactly run/stage/unit;
+  - spans on one thread nest properly: sorted by (ts, -dur), every
+    span either fits entirely inside the enclosing open span or starts
+    at/after its end (the floor-both-endpoints microsecond rounding in
+    host_trace.cc preserves this by construction);
+  - every thread with spans has a thread_name metadata record.
 
 Default output is a per-PE-lane table -- active / startup / idle-scan
 cycles, utilization over the lane's makespan, span and task counts --
@@ -39,11 +56,17 @@ def fatal(message):
     sys.exit(1)
 
 
+HOST_CATS = ("run", "stage", "unit")
+
+
 def parse_args(argv):
     args = list(argv[1:])
     check = "--check" in args
     if check:
         args.remove("--check")
+    host = "--host" in args
+    if host:
+        args.remove("--host")
     top = 5
     if "--top" in args:
         index = args.index("--top")
@@ -58,7 +81,7 @@ def parse_args(argv):
     if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    return args[0], check, top
+    return args[0], check, top, host
 
 
 def check_event(event, index, errors):
@@ -83,8 +106,133 @@ def check_event(event, index, errors):
     return True
 
 
+def host_self_times(spans):
+    """Per-span self time on one thread: dur minus nested span durs.
+
+    @p spans is [(ts, dur, name, cat)] for a single tid. Sorted by
+    (ts, -dur) a proper nesting visits parents before their children,
+    so a stack sweep attributes each span's duration to itself minus
+    whatever opens inside it. Returns ([(self, dur, ts, name, cat)],
+    nesting_errors)."""
+    ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack = []      # indices into results of currently-open spans
+    results = []
+    errors = []
+    for ts, dur, name, cat in ordered:
+        end = ts + dur
+        while stack and ts >= results[stack[-1]][5]:
+            stack.pop()
+        if stack and end > results[stack[-1]][5]:
+            errors.append(
+                "span '{}' [{}, {}) escapes enclosing '{}' ending at "
+                "{}".format(name, ts, end, results[stack[-1]][3],
+                            results[stack[-1]][5]))
+            continue
+        if stack:
+            parent = results[stack[-1]]
+            results[stack[-1]] = (parent[0] - dur,) + parent[1:]
+        results.append((dur, dur, ts, name, cat, end))
+        stack.append(len(results) - 1)
+    return ([(s, d, ts, name, cat)
+             for s, d, ts, name, cat, _end in results], errors)
+
+
+def host_main(path, events, check, top):
+    """Summarize / check a host-execution trace (--host mode)."""
+    errors = []
+    thread_names = {}               # tid -> metadata name
+    thread_spans = defaultdict(list)  # tid -> [(ts, dur, name, cat)]
+    instants = defaultdict(int)
+
+    for index, event in enumerate(events):
+        if not check_event(event, index, errors):
+            continue
+        ph = event["ph"]
+        tid = event.get("tid", 0)
+        if ph == "M":
+            if event["name"] == "thread_name":
+                thread_names[tid] = event.get("args", {}).get("name", "")
+            continue
+        if ph == "i":
+            instants[event["name"]] += 1
+            continue
+        cat = event.get("cat", "")
+        if cat not in HOST_CATS:
+            errors.append("event {}: unknown host span cat "
+                          "'{}'".format(index, cat))
+            continue
+        thread_spans[tid].append(
+            (event["ts"], event["dur"], event["name"], cat))
+
+    rows = []        # (tid, top_level_us, makespan_us, spans)
+    all_spans = []   # (self, dur, ts, tid, name, cat)
+    for tid in sorted(thread_spans):
+        spans = thread_spans[tid]
+        selfs, nest_errors = host_self_times(spans)
+        if check:
+            for err in nest_errors:
+                errors.append("tid {}: {}".format(tid, err))
+            if tid not in thread_names:
+                errors.append("tid {} has spans but no thread_name "
+                              "metadata".format(tid))
+        for self_us, dur, ts, name, cat in selfs:
+            all_spans.append((self_us, dur, ts, tid, name, cat))
+        lo = min(ts for ts, _d, _n, _c in spans)
+        hi = max(ts + d for ts, d, _n, _c in spans)
+        # Top-level time: spans not nested inside another on this
+        # thread (dur == self only for leaves; recompute by sweep).
+        ordered = sorted(spans, key=lambda s: (s[0], -s[1]))
+        top_level = 0
+        cursor = -1
+        for ts, dur, _name, _cat in ordered:
+            if ts >= cursor:
+                top_level += dur
+                cursor = ts + dur
+        rows.append((tid, top_level, hi - lo, len(spans)))
+
+    if errors:
+        print("trace_summary: {} FAILS ({} violations):".format(
+            path, len(errors)))
+        for error in errors[:20]:
+            print("  " + error)
+        if len(errors) > 20:
+            print("  ... and {} more".format(len(errors) - 20))
+        return 1
+
+    total_spans = sum(len(s) for s in thread_spans.values())
+    print("trace_summary: {} -- host trace, {} events, {} spans, "
+          "{} threads".format(path, len(events), total_spans,
+                              len(thread_spans)))
+    print("{:<12} {:>14} {:>14} {:>7} {:>8}".format(
+        "thread", "busy (us)", "makespan (us)", "util%", "spans"))
+    for tid, top_level, makespan, count in rows:
+        pct = (100.0 * top_level / makespan) if makespan else 0.0
+        print("{:<12} {:>14} {:>14} {:>6.1f}% {:>8}".format(
+            thread_names.get(tid, "tid {}".format(tid)), top_level,
+            makespan, pct, count))
+
+    if instants:
+        print("\ninstants:")
+        for name in sorted(instants):
+            print("  {:<24} {}".format(name, instants[name]))
+
+    if top > 0 and all_spans:
+        all_spans.sort(reverse=True)
+        print("\ntop {} spans by self time:".format(
+            min(top, len(all_spans))))
+        for self_us, dur, ts, tid, name, cat in all_spans[:top]:
+            print("  {:>10} us self ({:>10} us total)  {}:{:<28} "
+                  "on {}".format(
+                      self_us, dur, cat, name,
+                      thread_names.get(tid, "tid {}".format(tid))))
+
+    if check:
+        print("\ntrace_summary: {} passes all host checks".format(path))
+    return 0
+
+
 def main(argv):
-    path, check, top = parse_args(argv)
+    path, check, top, host = parse_args(argv)
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -94,6 +242,9 @@ def main(argv):
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         fatal("{} has no traceEvents array".format(path))
+
+    if host:
+        return host_main(path, events, check, top)
 
     errors = []
     lane_names = {}          # tid -> "PE N" metadata

@@ -28,6 +28,10 @@ On top of the structural check, two semantic laws are enforced:
     run but must never be laundered into the headline geomeans
     (scripts/merge_reports.py enforces the same law at merge time;
     this check catches documents assembled any other way).
+ 3. every "host_metrics" histogram (metered runs, --metrics-out) must
+    satisfy count == sum(bins): the producer records every sample into
+    exactly one bucket (src/obs/metrics.hh histRecord), so a mismatch
+    means a corrupted or hand-edited snapshot.
 
 Exits 0 when the document conforms, 1 with every violation listed
 otherwise.
@@ -149,6 +153,36 @@ def check_stall_sums(node, path, errors):
             check_stall_sums(item, "{}[{}]".format(path, index), errors)
 
 
+def check_host_metrics(node, path, errors):
+    """Recursively enforce count == sum(bins) on every host_metrics
+    histogram (top-level reports and reports nested under runs.*)."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = "{}.{}".format(path, key) if path else key
+            if key == "host_metrics" and isinstance(value, dict):
+                for index, hist in enumerate(
+                        value.get("histograms", [])):
+                    if not isinstance(hist, dict):
+                        continue
+                    bins = hist.get("bins")
+                    count = hist.get("count")
+                    if not isinstance(bins, list) or \
+                            not isinstance(count, int):
+                        continue  # structural validation reports shape
+                    total = sum(b for b in bins if isinstance(b, int))
+                    if total != count:
+                        errors.append(
+                            "{}.histograms[{}]: bins sum to {} but "
+                            "count is {} ('{}')".format(
+                                child, index, total, count,
+                                hist.get("name", "?")))
+            else:
+                check_host_metrics(value, child, errors)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            check_host_metrics(item, "{}[{}]".format(path, index), errors)
+
+
 SUMMARY_SOURCE_RUNS = (
     "fig09_speedup_energy", "table5_rcp_avoided", "abl_threads")
 
@@ -194,6 +228,7 @@ def main(argv):
     else:
         validator.check(schema, document, "")
     check_stall_sums(document, "", validator.errors)
+    check_host_metrics(document, "", validator.errors)
     if isinstance(document, dict):
         check_summary_sources(document, validator.errors)
     if validator.errors:

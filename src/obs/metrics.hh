@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Host-side metrics registry: counters, gauges, and fixed-bin
+ * histograms describing the *simulator's own* execution (thread-pool
+ * utilization, trace-cache residency, arena high-water marks, stage
+ * wall-clock) -- the complement of src/obs/trace.hh, which records the
+ * *modeled hardware's* cycles.
+ *
+ * Layering: the producer API below is entirely header-inline (C++17
+ * inline variables hold the registry state), so ant_util code -- the
+ * thread pool, the arena -- can record without linking ant_obs, which
+ * itself links ant_util. Consumer-side code (snapshot, Prometheus
+ * exposition, reset) lives in metrics.cc and is only called from
+ * bench/report/test code, all of which links ant_obs.
+ *
+ * Sharding and determinism: every recording thread owns a MetricShard
+ * of relaxed atomics (obtained via threadAttach), so the hot path is
+ * uncontended and TSan-clean even while another thread snapshots a
+ * live heartbeat. A snapshot merges shards by summation (counters,
+ * histogram bins) -- associative and commutative, the same merge
+ * discipline as the simulated-time HistogramRegistry -- so the merged
+ * totals of a deterministic workload are independent of worker count
+ * and scheduling (tests/metrics_test.cc).
+ *
+ * Overhead: when metrics are off (the default), every instrumentation
+ * site reduces to one thread-local pointer load and branch --
+ * detail::t_shard stays nullptr because threadAttach refuses to
+ * install a shard while disabled. tests/obs_overhead_test.cc asserts
+ * stats, report JSON, and simulated-time trace bytes are identical
+ * with metrics on and off; host wall-clock readings live only here
+ * and in host_trace.hh/profiler.hh (antsim-lint whitelist), never in
+ * model code.
+ */
+
+#ifndef ANTSIM_OBS_METRICS_HH
+#define ANTSIM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace antsim {
+namespace obs {
+namespace metrics {
+
+/** Process-wide monotonic counters. */
+enum class Counter : unsigned {
+    /** parallelFor jobs issued. */
+    PoolParallelFors = 0,
+    /** Work items scheduled across all parallelFor jobs. */
+    PoolItems,
+    /** Trace-cache lookups served from the cache. */
+    TraceCacheHits,
+    /** Trace-cache lookups that generated (cache off counts too). */
+    TraceCacheMisses,
+    /** Planes inserted into the trace cache. */
+    TraceCacheInserts,
+    /** Planes evicted from the trace cache (FIFO, over budget). */
+    TraceCacheEvictions,
+    /** Payload bytes released by trace-cache evictions. */
+    TraceCacheEvictedBytes,
+    /** Arena blocks carved by Arena::alloc. */
+    ArenaAllocs,
+    /** Bytes carved by Arena::alloc (with alignment padding). */
+    ArenaAllocBytes,
+    /** Arena slabs (re)allocated by Arena::reset. */
+    ArenaSlabs,
+    /** Slab bytes allocated by Arena::reset. */
+    ArenaSlabBytes,
+    /** AlignedVec growth reallocations. */
+    AlignedVecGrows,
+    /** Bytes allocated by AlignedVec growths. */
+    AlignedVecGrowBytes,
+    /** runConvNetwork / runMatmulNetwork invocations. */
+    RunnerRuns,
+    /** Simulated (layer, phase, sample) units completed. */
+    RunnerUnits,
+    NumCounters
+};
+
+constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::NumCounters);
+
+/** Per-worker counters (label: pool-relative worker id). */
+enum class WorkerCounter : unsigned {
+    /** Nanoseconds spent executing claimed chunks. */
+    BusyNs = 0,
+    /** Nanoseconds spent parked on the pool's wake condition. */
+    IdleNs,
+    /** Chunks claimed from the shared cursor. */
+    Chunks,
+    /** Work items executed. */
+    Items,
+    NumWorkerCounters
+};
+
+constexpr std::size_t kNumWorkerCounters =
+    static_cast<std::size_t>(WorkerCounter::NumWorkerCounters);
+
+/** Worker ids at or beyond this are folded into the last label. */
+constexpr std::size_t kMaxWorkers = 64;
+
+/** Process-wide gauges (live value + tracked peak). */
+enum class Gauge : unsigned {
+    /** Payload bytes currently resident in the trace cache. */
+    TraceCacheResidentBytes = 0,
+    /** Planes currently resident in the trace cache. */
+    TraceCacheEntries,
+    /** Largest parallelFor item count seen (queue-depth proxy: the
+     *  pool runs one job at a time, so pending depth == job items). */
+    PoolMaxJobItems,
+    /** Largest pool worker count seen. */
+    PoolWorkers,
+    /** Largest Arena::used() watermark seen across all arenas. */
+    ArenaHighWaterBytes,
+    /** Largest AlignedVec capacity in bytes seen across all vectors. */
+    AlignedVecHighWaterBytes,
+    NumGauges
+};
+
+constexpr std::size_t kNumGauges =
+    static_cast<std::size_t>(Gauge::NumGauges);
+
+/** Trace-cache shard slots for the occupancy gauge (>= kShards). */
+constexpr std::size_t kMaxCacheShards = 32;
+
+/** Host-side distributions. */
+enum class Hist : unsigned {
+    /** Wall nanoseconds of one simulated unit. */
+    UnitWallNs = 0,
+    /** Item count of each parallelFor job. */
+    PoolJobItems,
+    /** Payload bytes of each plane inserted into the trace cache. */
+    TraceCachePlaneBytes,
+    NumHists
+};
+
+constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::NumHists);
+
+/** Log2 bucket count of every host histogram (last bin = overflow). */
+constexpr std::size_t kHistBins = 40;
+
+/**
+ * Log2 bucket of @p value: bucket 0 holds {0}, bucket i >= 1 holds
+ * [2^(i-1), 2^i), the last bucket absorbs the overflow tail -- the
+ * same layout discipline as obs::Histogram's Log2 kind, so merged
+ * bins stay exact integers.
+ */
+constexpr std::uint32_t
+histBucket(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    std::uint32_t bit = 0;
+    while (value >>= 1)
+        ++bit;
+    const std::uint32_t bucket = bit + 1;
+    return bucket < kHistBins ? bucket
+                              : static_cast<std::uint32_t>(kHistBins - 1);
+}
+
+/**
+ * Number of profiled host stages, mirrored from report/profiler.hh's
+ * Stage enum (ant_obs cannot include report headers without inverting
+ * the library layering; profiler.cc static_asserts the two agree).
+ */
+constexpr std::size_t kNumStages = 4;
+
+/**
+ * One thread's slice of the registry. All cells are relaxed atomics:
+ * the owning thread is the only writer, but a heartbeat or snapshot
+ * may read concurrently, and relaxed uncontended atomics cost the
+ * same as plain loads/stores on every target this simulator runs on.
+ */
+struct MetricShard
+{
+    std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+    std::array<std::array<std::atomic<std::uint64_t>, kNumWorkerCounters>,
+               kMaxWorkers>
+        workers{};
+    std::array<std::atomic<std::uint64_t>, kNumStages> stageNs{};
+    std::array<std::atomic<std::uint64_t>, kNumStages> stageCalls{};
+    struct HistCells
+    {
+        std::array<std::atomic<std::uint64_t>, kHistBins> bins{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{~0ull};
+        std::atomic<std::uint64_t> max{0};
+    };
+    std::array<HistCells, kNumHists> hists{};
+};
+
+namespace detail {
+
+/**
+ * constinit thread-local pointer: the one branch every hot site pays
+ * when metrics are off (same pattern -- and same rationale -- as
+ * obs::detail::t_recorder in trace.hh). C++17 inline variables give
+ * exactly one instance per process without an ant_obs symbol.
+ */
+inline thread_local constinit MetricShard *t_shard = nullptr;
+
+inline std::atomic<bool> g_enabled{false};
+
+/** Shard list plus the registry-global gauges. */
+struct Registry
+{
+    std::mutex mutex;
+    /** Shards live for the process lifetime: a detached thread's
+     *  totals must survive it, and t_shard pointers must never
+     *  dangle. reset() zeroes cells instead of freeing shards. */
+    std::vector<std::unique_ptr<MetricShard>> shards;
+    std::array<std::atomic<std::int64_t>, kNumGauges> gaugeValue{};
+    std::array<std::atomic<std::int64_t>, kNumGauges> gaugePeak{};
+    std::array<std::atomic<std::int64_t>, kMaxCacheShards>
+        cacheShardEntries{};
+    std::atomic<std::uint32_t> cacheShardCount{0};
+};
+
+inline Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Raise @p cell to at least @p v (relaxed CAS max; uncontended). */
+inline void
+raiseTo(std::atomic<std::int64_t> &cell, std::int64_t v)
+{
+    std::int64_t cur = cell.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+raiseToU(std::atomic<std::uint64_t> &cell, std::uint64_t v)
+{
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+lowerToU(std::atomic<std::uint64_t> &cell, std::uint64_t v)
+{
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (cur > v &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace detail
+
+/** Whether the registry is collecting. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn collection on or off process-wide. Threads attach lazily via
+ * threadAttach; disabling stops new attachments but leaves existing
+ * shards in place (their totals remain snapshot-visible).
+ */
+inline void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/** The calling thread's shard; nullptr when it never attached. */
+inline MetricShard *
+shard()
+{
+    return detail::t_shard;
+}
+
+/**
+ * Install a shard for the calling thread (no-op when disabled or
+ * already attached). Called at the known thread entry points -- bench
+ * parseOptions (main thread), ThreadPool workerLoop / parallelFor --
+ * so hot recording sites stay a single pointer branch.
+ */
+inline void
+threadAttach()
+{
+    if (!enabled() || detail::t_shard != nullptr)
+        return;
+    detail::Registry &reg = detail::registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.shards.push_back(std::make_unique<MetricShard>());
+    detail::t_shard = reg.shards.back().get();
+}
+
+/** Bump counter @p c by @p delta. */
+inline void
+count(Counter c, std::uint64_t delta = 1)
+{
+    if (MetricShard *s = detail::t_shard) {
+        s->counters[static_cast<std::size_t>(c)].fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+}
+
+/** Bump per-worker counter @p c of worker @p worker by @p delta. */
+inline void
+workerCount(std::uint32_t worker, WorkerCounter c, std::uint64_t delta)
+{
+    if (MetricShard *s = detail::t_shard) {
+        const std::size_t w =
+            worker < kMaxWorkers ? worker : kMaxWorkers - 1;
+        s->workers[w][static_cast<std::size_t>(c)].fetch_add(
+            delta, std::memory_order_relaxed);
+    }
+}
+
+/** Add @p delta (may be negative) to gauge @p g; tracks the peak. */
+inline void
+gaugeAdd(Gauge g, std::int64_t delta)
+{
+    if (detail::t_shard == nullptr)
+        return;
+    detail::Registry &reg = detail::registry();
+    const std::size_t i = static_cast<std::size_t>(g);
+    const std::int64_t now =
+        reg.gaugeValue[i].fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    detail::raiseTo(reg.gaugePeak[i], now);
+}
+
+/**
+ * Overwrite gauge @p g with @p value without touching its peak.
+ * Unlike the guarded hot-path helpers this works unattached: it is
+ * for cold-path corrections (e.g. trace_cache::reset zeroing the
+ * residency gauges after dropping every shard).
+ */
+inline void
+gaugeSet(Gauge g, std::int64_t value)
+{
+    detail::registry().gaugeValue[static_cast<std::size_t>(g)].store(
+        value, std::memory_order_relaxed);
+}
+
+/** Raise gauge @p g to at least @p value (max-watermark semantics). */
+inline void
+gaugeMax(Gauge g, std::int64_t value)
+{
+    if (detail::t_shard == nullptr)
+        return;
+    detail::Registry &reg = detail::registry();
+    const std::size_t i = static_cast<std::size_t>(g);
+    detail::raiseTo(reg.gaugeValue[i], value);
+    detail::raiseTo(reg.gaugePeak[i], value);
+}
+
+/**
+ * Publish the live entry count of trace-cache shard @p index out of
+ * @p shard_count total shards (drives the per-shard occupancy gauge).
+ */
+inline void
+cacheShardSet(std::size_t index, std::int64_t entries,
+              std::size_t shard_count)
+{
+    if (detail::t_shard == nullptr || index >= kMaxCacheShards)
+        return;
+    detail::Registry &reg = detail::registry();
+    reg.cacheShardEntries[index].store(entries,
+                                       std::memory_order_relaxed);
+    std::uint32_t cur =
+        reg.cacheShardCount.load(std::memory_order_relaxed);
+    const auto want = static_cast<std::uint32_t>(
+        shard_count < kMaxCacheShards ? shard_count : kMaxCacheShards);
+    while (cur < want &&
+           !reg.cacheShardCount.compare_exchange_weak(
+               cur, want, std::memory_order_relaxed)) {
+    }
+}
+
+/** Record one sample into host histogram @p h. */
+inline void
+histRecord(Hist h, std::uint64_t value)
+{
+    if (MetricShard *s = detail::t_shard) {
+        MetricShard::HistCells &cells =
+            s->hists[static_cast<std::size_t>(h)];
+        cells.bins[histBucket(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        cells.count.fetch_add(1, std::memory_order_relaxed);
+        cells.sum.fetch_add(value, std::memory_order_relaxed);
+        detail::lowerToU(cells.min, value);
+        detail::raiseToU(cells.max, value);
+    }
+}
+
+/** Add one profiled stage region (index = report/profiler.hh Stage). */
+inline void
+stageAdd(std::size_t stage_index, std::uint64_t nanos)
+{
+    if (MetricShard *s = detail::t_shard) {
+        if (stage_index < kNumStages) {
+            s->stageNs[stage_index].fetch_add(nanos,
+                                              std::memory_order_relaxed);
+            s->stageCalls[stage_index].fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+}
+
+/**
+ * Host wall-clock in nanoseconds (steady, epoch = clock's own).
+ * Confined to this whitelisted header so instrumented code never
+ * names a clock type itself (antsim-lint no-wall-clock-in-sim).
+ */
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Live process-wide total of counter @p c (heartbeat; locks). */
+inline std::uint64_t
+counterTotal(Counter c)
+{
+    detail::Registry &reg = detail::registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    std::uint64_t total = 0;
+    for (const auto &s : reg.shards) {
+        total += s->counters[static_cast<std::size_t>(c)].load(
+            std::memory_order_relaxed);
+    }
+    return total;
+}
+
+/** Live value of gauge @p g. */
+inline std::int64_t
+gaugeValue(Gauge g)
+{
+    return detail::registry()
+        .gaugeValue[static_cast<std::size_t>(g)]
+        .load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// Consumer API (metrics.cc, ant_obs): snapshot/merge, name catalog,
+// Prometheus text exposition, reset. Callers link ant_obs.
+
+/** Order-independent merge of every shard, plus the global gauges. */
+struct Snapshot
+{
+    std::array<std::uint64_t, kNumCounters> counters{};
+    std::array<std::array<std::uint64_t, kNumWorkerCounters>, kMaxWorkers>
+        workers{};
+    /** Highest worker label with any activity, plus one. */
+    std::uint32_t workersUsed = 0;
+    std::array<std::uint64_t, kNumStages> stageNs{};
+    std::array<std::uint64_t, kNumStages> stageCalls{};
+    std::array<std::int64_t, kNumGauges> gaugeValue{};
+    std::array<std::int64_t, kNumGauges> gaugePeak{};
+    std::array<std::int64_t, kMaxCacheShards> cacheShardEntries{};
+    std::uint32_t cacheShardsUsed = 0;
+    struct HistData
+    {
+        std::array<std::uint64_t, kHistBins> bins{};
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        /** 0 when empty (same convention as obs::Histogram). */
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+    };
+    std::array<HistData, kNumHists> hists{};
+};
+
+/** Stable snake_case metric names (exposition / report keys). */
+const char *counterName(Counter c);
+const char *workerCounterName(WorkerCounter c);
+const char *gaugeName(Gauge g);
+const char *histName(Hist h);
+const char *stageMetricName(std::size_t stage_index);
+
+/** Merge every shard into one Snapshot (sum; order-independent). */
+Snapshot snapshot();
+
+/**
+ * Serialize @p snap in the Prometheus text exposition format
+ * (# HELP/# TYPE + samples; counters end in _total, histograms emit
+ * cumulative _bucket/_sum/_count). Deterministic: fixed catalog
+ * order, exact integers only.
+ */
+std::string toPrometheus(const Snapshot &snap);
+
+/** Write toPrometheus(snapshot()) to @p path (fatal on I/O error). */
+void writePrometheus(const std::string &path);
+
+/** Zero every cell and gauge; shards stay attached (tests). */
+void reset();
+
+} // namespace metrics
+} // namespace obs
+} // namespace antsim
+
+#endif // ANTSIM_OBS_METRICS_HH

@@ -25,6 +25,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/host_trace.hh"
+
 namespace antsim {
 
 /** Coarse stages of one simulated run. */
@@ -72,12 +74,22 @@ class ScopedTimer
 
     ~ScopedTimer()
     {
-        const auto elapsed = std::chrono::steady_clock::now() - start_;
-        profiler::record(
-            stage_,
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                    .count()));
+        const auto end = std::chrono::steady_clock::now();
+        const auto nanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                 start_)
+                .count());
+        profiler::record(stage_, nanos);
+        // Mirror the region into the host trace when one is being
+        // collected (steady_clock epoch == obs::host::nowNs epoch).
+        if (obs::host::buf() != nullptr) {
+            const auto end_ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    end.time_since_epoch())
+                    .count());
+            obs::host::emitSpan("stage", stageName(stage_),
+                                end_ns - nanos, end_ns);
+        }
     }
 
     ScopedTimer(const ScopedTimer &) = delete;

@@ -172,6 +172,88 @@ histogramsToJson(const obs::HistogramRegistry &hists)
     return json;
 }
 
+Json
+hostMetricsToJson(const obs::metrics::Snapshot &snap)
+{
+    namespace m = obs::metrics;
+    Json json = Json::object();
+
+    Json counters = Json::object();
+    for (std::size_t i = 0; i < m::kNumCounters; ++i)
+        counters.set(m::counterName(static_cast<m::Counter>(i)),
+                     snap.counters[i]);
+    json.set("counters", std::move(counters));
+
+    Json gauges = Json::object();
+    for (std::size_t i = 0; i < m::kNumGauges; ++i) {
+        const auto gauge = static_cast<m::Gauge>(i);
+        Json entry = Json::object();
+        // Gauges are signed (add/sub deltas) but every catalogued gauge
+        // tracks a resource quantity, so negatives only arise from an
+        // accounting bug; clamp rather than emit a negative byte count.
+        entry.set("value", static_cast<std::uint64_t>(
+                               std::max<std::int64_t>(0, snap.gaugeValue[i])));
+        entry.set("peak", static_cast<std::uint64_t>(
+                              std::max<std::int64_t>(0, snap.gaugePeak[i])));
+        gauges.set(m::gaugeName(gauge), std::move(entry));
+    }
+    json.set("gauges", std::move(gauges));
+
+    Json stages = Json::array();
+    for (std::size_t i = 0; i < m::kNumStages; ++i) {
+        Json entry = Json::object();
+        entry.set("name", m::stageMetricName(i));
+        entry.set("nanos", snap.stageNs[i]);
+        entry.set("calls", snap.stageCalls[i]);
+        stages.push(std::move(entry));
+    }
+    json.set("stages", std::move(stages));
+
+    Json workers = Json::array();
+    for (std::size_t w = 0; w < snap.workersUsed; ++w) {
+        Json entry = Json::object();
+        entry.set("worker", static_cast<std::uint64_t>(w));
+        entry.set("busy_ns",
+                  snap.workers[w][static_cast<std::size_t>(
+                      m::WorkerCounter::BusyNs)]);
+        entry.set("idle_ns",
+                  snap.workers[w][static_cast<std::size_t>(
+                      m::WorkerCounter::IdleNs)]);
+        entry.set("chunks",
+                  snap.workers[w][static_cast<std::size_t>(
+                      m::WorkerCounter::Chunks)]);
+        entry.set("items",
+                  snap.workers[w][static_cast<std::size_t>(
+                      m::WorkerCounter::Items)]);
+        workers.push(std::move(entry));
+    }
+    json.set("workers", std::move(workers));
+
+    Json cache_shards = Json::array();
+    for (std::size_t s = 0; s < snap.cacheShardsUsed; ++s)
+        cache_shards.push(snap.cacheShardEntries[s]);
+    json.set("cache_shards", std::move(cache_shards));
+
+    Json hists = Json::array();
+    for (std::size_t i = 0; i < m::kNumHists; ++i) {
+        const auto hist = static_cast<m::Hist>(i);
+        const auto &data = snap.hists[i];
+        Json entry = Json::object();
+        entry.set("name", m::histName(hist));
+        Json bins = Json::array();
+        for (std::uint64_t b : data.bins)
+            bins.push(b);
+        entry.set("bins", std::move(bins));
+        entry.set("count", data.count);
+        entry.set("sum", data.sum);
+        entry.set("min", data.min);
+        entry.set("max", data.max);
+        hists.push(std::move(entry));
+    }
+    json.set("histograms", std::move(hists));
+    return json;
+}
+
 namespace {
 
 /** Sum the simulated phases of one layer into a single counter set. */
@@ -308,6 +390,13 @@ RunReport::setEstimate(Json estimate)
     hasEstimate_ = true;
 }
 
+void
+RunReport::setHostMetrics(const obs::metrics::Snapshot &snap)
+{
+    hostMetrics_ = hostMetricsToJson(snap);
+    hasHostMetrics_ = true;
+}
+
 Json
 RunReport::toJson(bool include_profile) const
 {
@@ -319,6 +408,8 @@ RunReport::toJson(bool include_profile) const
     metadata.set("binary", metadata_.binary);
     metadata.set("seed", metadata_.seed);
     metadata.set("threads", static_cast<std::uint64_t>(metadata_.threads));
+    metadata.set("threads_effective",
+                 static_cast<std::uint64_t>(metadata_.threadsEffective));
     metadata.set("pes", static_cast<std::uint64_t>(metadata_.pes));
     metadata.set("samples", static_cast<std::uint64_t>(metadata_.samples));
     metadata.set("chunk", static_cast<std::uint64_t>(metadata_.chunk));
@@ -368,6 +459,9 @@ RunReport::toJson(bool include_profile) const
 
     if (hasEstimate_)
         json.set("estimate", estimate_);
+
+    if (hasHostMetrics_)
+        json.set("host_metrics", hostMetrics_);
 
     if (include_profile)
         json.set("profile", profileToJson());

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/histogram.hh"
+#include "obs/metrics.hh"
 #include "report/json.hh"
 #include "util/table.hh"
 #include "workload/runner.hh"
@@ -47,6 +48,13 @@ struct RunMetadata
     std::uint64_t seed = 42;
     /** Requested worker threads (0 = hardware concurrency). */
     std::uint32_t threads = 0;
+    /**
+     * Worker threads the run actually used (requested resolved and
+     * clamped to the hardware, runner.hh effectiveWorkerCount). Keeps
+     * a --threads 64 run on an 8-way machine distinguishable from
+     * --threads 8 in the archived report.
+     */
+    std::uint32_t threadsEffective = 0;
     std::uint32_t pes = 64;
     std::uint32_t samples = 16;
     std::uint32_t chunk = 4096;
@@ -118,6 +126,17 @@ StallBreakdown stallBreakdown(const CounterSet &counters);
 /** Serialize a histogram registry (bins, count, sum, min, max). */
 Json histogramsToJson(const obs::HistogramRegistry &hists);
 
+/**
+ * Serialize a host-metrics snapshot (obs/metrics.hh) as the report's
+ * host_metrics section: counters, gauges with peaks, per-stage wall
+ * nanoseconds, per-worker pool accounting, trace-cache shard
+ * occupancy, and log2 histograms. Everything here is host-side
+ * wall-clock accounting -- like the profile section it is never
+ * byte-stable across runs, which is why RunReport only embeds it when
+ * metrics collection was explicitly enabled.
+ */
+Json hostMetricsToJson(const obs::metrics::Snapshot &snap);
+
 /** One run's structured report. */
 class RunReport
 {
@@ -159,6 +178,14 @@ class RunReport
      * so simulation reports are unchanged.
      */
     void setEstimate(Json estimate);
+
+    /**
+     * Attach the host-metrics snapshot (metered runs only -- benches
+     * call this from finish() when --metrics-out enabled collection).
+     * Omitted when never set, so metrics-off reports are byte-identical
+     * to reports from builds that never heard of metrics.
+     */
+    void setHostMetrics(const obs::metrics::Snapshot &snap);
 
     /** Record a printed table under @p name. */
     void addTable(const std::string &name, const Table &table);
@@ -204,6 +231,8 @@ class RunReport
     bool hasHistograms_ = false;
     Json estimate_ = Json::object();
     bool hasEstimate_ = false;
+    Json hostMetrics_ = Json::object();
+    bool hasHostMetrics_ = false;
 };
 
 } // namespace antsim

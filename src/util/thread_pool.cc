@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+// Header-inline producer APIs only: ant_util cannot link ant_obs
+// (ant_obs links ant_util), and all recording below compiles to a
+// thread-local pointer branch when observability is off.
+#include "obs/host_trace.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace antsim {
@@ -75,6 +80,10 @@ void
 ThreadPool::runChunks(Job &job, std::uint32_t worker_id)
 {
     const WorkerScope scope(this, worker_id);
+    // Busy/chunk/item accounting per claimed block. The shard pointer
+    // is resolved once: attachment happens at thread entry points, not
+    // mid-job.
+    obs::metrics::MetricShard *const metered = obs::metrics::shard();
     const std::uint64_t total = job.end - job.begin;
     for (;;) {
         const std::uint64_t start =
@@ -82,6 +91,8 @@ ThreadPool::runChunks(Job &job, std::uint32_t worker_id)
         if (start >= job.end)
             break;
         const std::uint64_t stop = std::min(start + job.grain, job.end);
+        const std::uint64_t busy_start =
+            metered != nullptr ? obs::metrics::nowNs() : 0;
         // Once a worker failed, later blocks are claimed and retired
         // without running so `completed` still reaches `total` and the
         // caller wakes up to rethrow.
@@ -97,6 +108,16 @@ ThreadPool::runChunks(Job &job, std::uint32_t worker_id)
                 }
                 job.failed.store(true, std::memory_order_release);
             }
+        }
+        if (metered != nullptr) {
+            obs::metrics::workerCount(
+                worker_id, obs::metrics::WorkerCounter::BusyNs,
+                obs::metrics::nowNs() - busy_start);
+            obs::metrics::workerCount(
+                worker_id, obs::metrics::WorkerCounter::Chunks, 1);
+            obs::metrics::workerCount(
+                worker_id, obs::metrics::WorkerCounter::Items,
+                stop - start);
         }
         const std::uint64_t done =
             job.completed.fetch_add(stop - start,
@@ -116,12 +137,24 @@ ThreadPool::workerLoop(std::uint32_t worker_id)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
+        // Attach lazily every round: observability can be switched on
+        // after the pool (and its workers) already exist.
+        obs::metrics::threadAttach();
+        obs::host::threadAttach("worker " + std::to_string(worker_id));
         Job *job = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            const std::uint64_t idle_start =
+                obs::metrics::shard() != nullptr ? obs::metrics::nowNs()
+                                                 : 0;
             wake_.wait(lock, [&] {
                 return shutdown_ || generation_ != seen_generation;
             });
+            if (obs::metrics::shard() != nullptr) {
+                obs::metrics::workerCount(
+                    worker_id, obs::metrics::WorkerCounter::IdleNs,
+                    obs::metrics::nowNs() - idle_start);
+            }
             if (shutdown_)
                 return;
             seen_generation = generation_;
@@ -154,6 +187,23 @@ ThreadPool::parallelFor(std::uint64_t begin, std::uint64_t end,
         for (std::uint64_t i = begin; i < end; ++i)
             fn(i, t_worker_id);
         return;
+    }
+
+    // Top-level job accounting (nested calls above are part of the
+    // outer job). The caller attaches here so single-threaded pools
+    // and test harnesses record without a bench entry point.
+    obs::metrics::threadAttach();
+    if (obs::metrics::shard() != nullptr) {
+        obs::metrics::count(obs::metrics::Counter::PoolParallelFors);
+        obs::metrics::count(obs::metrics::Counter::PoolItems,
+                            end - begin);
+        obs::metrics::histRecord(obs::metrics::Hist::PoolJobItems,
+                                 end - begin);
+        obs::metrics::gaugeMax(
+            obs::metrics::Gauge::PoolMaxJobItems,
+            static_cast<std::int64_t>(end - begin));
+        obs::metrics::gaugeMax(obs::metrics::Gauge::PoolWorkers,
+                               thread_count_);
     }
 
     if (thread_count_ == 1) {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <memory>
 
+#include "obs/host_trace.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "report/profiler.hh"
 #include "sim/chunking.hh"
@@ -15,20 +17,6 @@
 namespace antsim {
 
 namespace {
-
-/**
- * Worker count for a network run. The engine's results are
- * thread-count-invariant by construction (parallel_determinism_test),
- * so oversubscribing the machine buys nothing and costs context
- * switches and cache churn in the CPU-bound unit loop -- clamp the
- * request to the hardware.
- */
-std::uint32_t
-workerCount(std::uint32_t requested)
-{
-    const std::uint32_t resolved = ThreadPool::resolveThreadCount(requested);
-    return std::min(resolved, ThreadPool::resolveThreadCount(0));
-}
 
 /** Short phase names for trace labels and the progress heartbeat. */
 constexpr const char *kPhaseNames[3] = {"fwd", "bwd", "upd"};
@@ -176,6 +164,17 @@ runConvUnit(PeModel &pe, const ConvLayer &layer,
 
 } // namespace
 
+std::uint32_t
+effectiveWorkerCount(std::uint32_t requested)
+{
+    // The engine's results are thread-count-invariant by construction
+    // (parallel_determinism_test), so oversubscribing the machine buys
+    // nothing and costs context switches and cache churn in the
+    // CPU-bound unit loop -- clamp the request to the hardware.
+    const std::uint32_t resolved = ThreadPool::resolveThreadCount(requested);
+    return std::min(resolved, ThreadPool::resolveThreadCount(0));
+}
+
 void
 RunConfig::validate() const
 {
@@ -258,6 +257,9 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     std::size_t trace_run = 0;
     if (sink)
         trace_run = sink->beginRun(run_label, units.size());
+    obs::metrics::threadAttach();
+    obs::metrics::count(obs::metrics::Counter::RunnerRuns);
+    const obs::host::ScopedSpan host_run_span("run", run_label);
 
     // Progress heartbeat: ~8 info-level lines per run, counted with a
     // relaxed atomic so it never perturbs simulation results.
@@ -266,7 +268,7 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
     std::atomic<std::uint64_t> units_done{0};
 
     std::vector<CounterSet> unit_counters(units.size());
-    ThreadPool pool(workerCount(config.numThreads));
+    ThreadPool pool(effectiveWorkerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, units.size(), /*grain=*/1,
@@ -278,21 +280,60 @@ runConvNetwork(PeModel &pe, const std::vector<ConvLayer> &layers,
         [&](std::uint64_t i, std::uint32_t worker) {
             const ConvUnit &unit = units[i];
             const ConvLayer &layer = layers[unit.layer];
+            // The label feeds both traces; host unit spans carry
+            // {run, unit} args to cross-link with the simulated-time
+            // trace's unit events.
+            const bool host_on = obs::host::buf() != nullptr;
+            std::string label;
+            if (sink != nullptr || host_on) {
+                label = layer.name + "/" + kPhaseNames[unit.phase] +
+                    "#" + std::to_string(unit.taskIndex);
+            }
             const obs::ScopedUnitTrace trace(
-                sink, trace_run, i,
-                sink ? layer.name + "/" + kPhaseNames[unit.phase] + "#" +
-                        std::to_string(unit.taskIndex)
-                     : std::string());
+                sink, trace_run, i, sink ? label : std::string());
+            const obs::host::ScopedSpan host_span(
+                "unit", host_on ? label : std::string(),
+                host_on ? "{\"run\":\"" + run_label + "\",\"unit\":" +
+                        std::to_string(i) + "}"
+                        : std::string());
+            const std::uint64_t unit_start =
+                obs::metrics::shard() != nullptr ? obs::metrics::nowNs()
+                                                 : 0;
             unit_counters[i] =
                 runConvUnit(worker_pes[worker], layer, profile, config,
                             unit);
+            if (obs::metrics::shard() != nullptr) {
+                obs::metrics::count(obs::metrics::Counter::RunnerUnits);
+                obs::metrics::histRecord(
+                    obs::metrics::Hist::UnitWallNs,
+                    obs::metrics::nowNs() - unit_start);
+            }
             const std::uint64_t done =
                 units_done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (logLevel() >= LogLevel::Info &&
                 (done % heartbeat_step == 0 || done == units.size())) {
-                ANT_INFORM(run_label, ": ", done, "/", units.size(),
-                           " units simulated (last: ", layer.name, "/",
-                           kPhaseNames[unit.phase], ")");
+                if (obs::metrics::shard() != nullptr) {
+                    // Live metric snapshot alongside the progress line:
+                    // cache effectiveness and residency while running.
+                    ANT_INFORM(
+                        run_label, ": ", done, "/", units.size(),
+                        " units simulated (last: ", layer.name, "/",
+                        kPhaseNames[unit.phase], "; cache ",
+                        obs::metrics::counterTotal(
+                            obs::metrics::Counter::TraceCacheHits),
+                        " hits / ",
+                        obs::metrics::counterTotal(
+                            obs::metrics::Counter::TraceCacheMisses),
+                        " misses, ",
+                        obs::metrics::gaugeValue(
+                            obs::metrics::Gauge::TraceCacheResidentBytes) /
+                            (1024 * 1024),
+                        " MiB resident)");
+                } else {
+                    ANT_INFORM(run_label, ": ", done, "/", units.size(),
+                               " units simulated (last: ", layer.name,
+                               "/", kPhaseNames[unit.phase], ")");
+                }
             }
         });
 
@@ -340,12 +381,15 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
     std::size_t trace_run = 0;
     if (sink)
         trace_run = sink->beginRun(run_label, layers.size());
+    obs::metrics::threadAttach();
+    obs::metrics::count(obs::metrics::Counter::RunnerRuns);
+    const obs::host::ScopedSpan host_run_span("run", run_label);
     const std::uint64_t heartbeat_step =
         std::max<std::uint64_t>(1, layers.size() / 8);
     std::atomic<std::uint64_t> layers_done{0};
 
     std::vector<CounterSet> layer_counters(layers.size());
-    ThreadPool pool(workerCount(config.numThreads));
+    ThreadPool pool(effectiveWorkerCount(config.numThreads));
     const WorkerPes worker_pes(pe, pool.threadCount());
     pool.parallelFor(
         0, layers.size(), /*grain=*/1,
@@ -355,9 +399,18 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
         // are read-only, and each worker simulates on its private
         // worker_pes[worker] clone (parallel_determinism_test).
         [&](std::uint64_t li, std::uint32_t worker) {
+            const bool host_on = obs::host::buf() != nullptr;
             const obs::ScopedUnitTrace trace(
                 sink, trace_run, li,
                 sink ? layers[li].name : std::string());
+            const obs::host::ScopedSpan host_span(
+                "unit", host_on ? layers[li].name : std::string(),
+                host_on ? "{\"run\":\"" + run_label + "\",\"unit\":" +
+                        std::to_string(li) + "}"
+                        : std::string());
+            const std::uint64_t unit_start =
+                obs::metrics::shard() != nullptr ? obs::metrics::nowNs()
+                                                 : 0;
             Rng rng(mixSeed(config.seed, li, 0, 0));
             const PlanePair pair = [&] {
                 const ScopedTimer timer(Stage::TraceGen);
@@ -365,6 +418,12 @@ runMatmulNetwork(PeModel &pe, const std::vector<MatmulLayer> &layers,
             }();
             layer_counters[li] = runPlanePair(worker_pes[worker], pair,
                                               config.chunkCapacity);
+            if (obs::metrics::shard() != nullptr) {
+                obs::metrics::count(obs::metrics::Counter::RunnerUnits);
+                obs::metrics::histRecord(
+                    obs::metrics::Hist::UnitWallNs,
+                    obs::metrics::nowNs() - unit_start);
+            }
             const std::uint64_t done =
                 layers_done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (logLevel() >= LogLevel::Info &&

@@ -120,6 +120,16 @@ struct NetworkStats
     double validMultFraction() const;
 };
 
+/**
+ * Worker count a run with RunConfig::numThreads = @p requested will
+ * actually use: 0 resolves to hardware_concurrency, and any request is
+ * clamped to the hardware (oversubscription buys nothing in the
+ * CPU-bound unit loop). Exposed so reports can record the effective
+ * count next to the requested one -- without it, a --threads 64 run on
+ * an 8-way machine is indistinguishable from --threads 8.
+ */
+std::uint32_t effectiveWorkerCount(std::uint32_t requested);
+
 /** Simulate a conv network's training step on a PE model. */
 NetworkStats runConvNetwork(PeModel &pe,
                             const std::vector<ConvLayer> &layers,

@@ -6,11 +6,13 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/bfloat16.hh"
 #include "util/logging.hh"
@@ -178,7 +180,14 @@ struct Shard
     std::mutex mutex;
     std::unordered_map<PlaneKey, PlaneEntry, PlaneKeyHash> planes;
     std::size_t cachedBytes = 0;
+    /** Insertion order, front = oldest: FIFO eviction over budget.
+     *  Safe for a pure memoization cache -- an evicted plane is simply
+     *  regenerated (bit-identically) on its next lookup. */
+    std::deque<PlaneKey> order;
 };
+
+static_assert(kShards <= obs::metrics::kMaxCacheShards,
+              "per-shard occupancy gauge cannot hold every cache shard");
 
 Shard &
 shardFor(std::size_t hash)
@@ -338,12 +347,14 @@ cachedCsrPlane(const PlaneRecipe &recipe, Rng &rng)
 {
     if (!trace_cache::enabled()) {
         g_misses.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics::count(obs::metrics::Counter::TraceCacheMisses);
         return std::make_shared<const CsrMatrix>(
             generateCsrPlane(recipe, rng));
     }
 
     const PlaneKey key{recipe, rng.state()};
     const std::size_t hash = PlaneKeyHash{}(key);
+    const std::size_t shard_index = hash % kShards;
     // The physical hit/miss outcome depends on worker interleaving, so
     // the trace records only the deterministic key hash; the exporter
     // classifies lookups logically (first occurrence in unit order =
@@ -356,24 +367,67 @@ cachedCsrPlane(const PlaneRecipe &recipe, Rng &rng)
         const auto it = shard.planes.find(key);
         if (it != shard.planes.end()) {
             g_hits.fetch_add(1, std::memory_order_relaxed);
+            obs::metrics::count(obs::metrics::Counter::TraceCacheHits);
             rng.setState(it->second.postState);
             return it->second.plane;
         }
     }
 
     g_misses.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics::count(obs::metrics::Counter::TraceCacheMisses);
     auto plane =
         std::make_shared<const CsrMatrix>(generateCsrPlane(recipe, rng));
 
     std::lock_guard<std::mutex> lock(shard.mutex);
     const std::size_t bytes = planeBytes(*plane);
-    if (shard.cachedBytes + bytes <= kMaxCachedBytes / kShards) {
+    const std::size_t budget = kMaxCachedBytes / kShards;
+    // Planes wider than the whole shard budget are never cached; for
+    // everything else, FIFO-evict the oldest planes until the insert
+    // fits, so long sweeps keep caching their working set instead of
+    // freezing the first 256 MB they happened to generate.
+    if (bytes <= budget) {
         // First insert wins: a racing generator produced the identical
         // plane, so keeping either is correct.
         const auto [it, inserted] =
             shard.planes.try_emplace(key, PlaneEntry{plane, rng.state()});
-        if (inserted)
+        if (inserted) {
             shard.cachedBytes += bytes;
+            shard.order.push_back(key);
+            while (shard.cachedBytes > budget) {
+                const PlaneKey victim = shard.order.front();
+                if (victim == key)
+                    break;
+                shard.order.pop_front();
+                const auto vit = shard.planes.find(victim);
+                ANT_ASSERT(vit != shard.planes.end(),
+                           "trace-cache eviction order out of sync");
+                const std::size_t victim_bytes =
+                    planeBytes(*vit->second.plane);
+                shard.cachedBytes -= victim_bytes;
+                shard.planes.erase(vit);
+                obs::metrics::count(
+                    obs::metrics::Counter::TraceCacheEvictions);
+                obs::metrics::count(
+                    obs::metrics::Counter::TraceCacheEvictedBytes,
+                    victim_bytes);
+                obs::metrics::gaugeAdd(
+                    obs::metrics::Gauge::TraceCacheResidentBytes,
+                    -static_cast<std::int64_t>(victim_bytes));
+                obs::metrics::gaugeAdd(
+                    obs::metrics::Gauge::TraceCacheEntries, -1);
+            }
+            obs::metrics::count(obs::metrics::Counter::TraceCacheInserts);
+            obs::metrics::histRecord(
+                obs::metrics::Hist::TraceCachePlaneBytes, bytes);
+            obs::metrics::gaugeAdd(
+                obs::metrics::Gauge::TraceCacheResidentBytes,
+                static_cast<std::int64_t>(bytes));
+            obs::metrics::gaugeAdd(obs::metrics::Gauge::TraceCacheEntries,
+                                   1);
+            obs::metrics::cacheShardSet(
+                shard_index,
+                static_cast<std::int64_t>(shard.planes.size()), kShards);
+        }
         return it->second.plane;
     }
     return plane;
@@ -418,8 +472,15 @@ reset()
         Shard &shard = shardFor(s);
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.planes.clear();
+        shard.order.clear();
         shard.cachedBytes = 0;
+        obs::metrics::cacheShardSet(s, 0, kShards);
     }
+    // The residency gauges track live content; dropping every shard
+    // zeroes them (peaks persist by design).
+    obs::metrics::gaugeSet(obs::metrics::Gauge::TraceCacheResidentBytes,
+                           0);
+    obs::metrics::gaugeSet(obs::metrics::Gauge::TraceCacheEntries, 0);
     g_hits.store(0, std::memory_order_relaxed);
     g_misses.store(0, std::memory_order_relaxed);
     g_generated.store(0, std::memory_order_relaxed);

@@ -8,15 +8,25 @@
  * no-tracing fast path (recorder() stays null, so sites reduce to one
  * branch) and that reports omit the histograms section unless tracing
  * supplied one.
+ *
+ * The same observe-don't-perturb law covers the host-side metrics
+ * registry and host tracer (src/obs/metrics.hh, host_trace.hh): with
+ * both off no thread-local shard or buffer is ever installed, and
+ * turning both on leaves NetworkStats, the deterministic report JSON,
+ * and the simulated-time trace bytes identical -- host observability
+ * reads wall-clock but never writes simulation state.
  */
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ant/ant_pe.hh"
 #include "baselines/inner_product.hh"
+#include "obs/host_trace.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "report/report.hh"
 #include "scnn/scnn_pe.hh"
@@ -141,6 +151,91 @@ TEST(ObsOverhead, ReportOmitsHistogramsUnlessProvided)
     RunReport with;
     with.setHistograms(obs::HistogramRegistry{});
     EXPECT_NE(with.toJson(false).dump().find("histograms"),
+              std::string::npos);
+}
+
+/** Deterministic report JSON of one conv run (no profile section). */
+std::string
+reportBytes(const NetworkStats &stats)
+{
+    RunReport report;
+    RunMetadata metadata;
+    metadata.binary = "obs_overhead_test";
+    metadata.threadsEffective = effectiveWorkerCount(2);
+    report.setMetadata(metadata);
+    report.addNetwork("tiny", stats, 64);
+    return report.toJson(false).dump();
+}
+
+// Declaration order matters: this test must run before anything in
+// this binary enables metrics or host tracing, so it can observe that
+// plain runs never install the thread-local shard or span buffer.
+TEST(ObsOverhead, MetricsOffInstallsNothing)
+{
+    EXPECT_FALSE(obs::metrics::enabled());
+    EXPECT_FALSE(obs::host::enabled());
+    RunConfig config;
+    config.sampleCap = 1;
+    config.numThreads = 2;
+    ScnnPe pe;
+    runConvNetwork(pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+    EXPECT_EQ(obs::metrics::shard(), nullptr);
+    EXPECT_EQ(obs::host::buf(), nullptr);
+}
+
+TEST(ObsOverhead, MetricsDoNotPerturbStatsReportOrSimTrace)
+{
+    RunConfig config;
+    config.sampleCap = 2;
+    config.numThreads = 2;
+    config.runLabel = "tiny/ant";
+
+    // Baseline: simulated-time tracing on (so there are sim-trace
+    // bytes to compare), host metrics and host tracing off.
+    AntPe pe;
+    obs::setEnabled(true);
+    obs::globalSink().clear();
+    const auto plain = runConvNetwork(
+        pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+    const std::string plain_trace = obs::globalSink().toChromeJson(64);
+    obs::globalSink().clear();
+
+    // Metered: identical configuration with the host metrics registry
+    // and the host span tracer both collecting.
+    obs::metrics::setEnabled(true);
+    obs::metrics::threadAttach();
+    obs::host::setEnabled(true);
+    obs::host::threadAttach("main");
+    const auto metered = runConvNetwork(
+        pe, tinyNetwork(), SparsityProfile::swat(0.9), config);
+    const std::string metered_trace = obs::globalSink().toChromeJson(64);
+    obs::globalSink().clear();
+    obs::setEnabled(false);
+    obs::metrics::setEnabled(false);
+    obs::host::setEnabled(false);
+
+    // Host observability recorded something...
+    const obs::metrics::Snapshot snap = obs::metrics::snapshot();
+    EXPECT_GT(snap.counters[static_cast<std::size_t>(
+                  obs::metrics::Counter::RunnerUnits)],
+              0u);
+    // ...without perturbing stats, report bytes, or sim-trace bytes.
+    expectIdenticalStats(plain, metered, "metered/ant");
+    EXPECT_EQ(reportBytes(plain), reportBytes(metered));
+    EXPECT_EQ(plain_trace, metered_trace);
+    obs::metrics::reset();
+    obs::host::clear();
+}
+
+TEST(ObsOverhead, ReportOmitsHostMetricsUnlessProvided)
+{
+    RunReport plain;
+    const std::string without = plain.toJson(false).dump();
+    EXPECT_EQ(without.find("host_metrics"), std::string::npos);
+
+    RunReport with;
+    with.setHostMetrics(obs::metrics::Snapshot{});
+    EXPECT_NE(with.toJson(false).dump().find("host_metrics"),
               std::string::npos);
 }
 
